@@ -1,0 +1,27 @@
+# Convenience targets for the RCoal reproduction.
+
+.PHONY: install test test-fast bench bench-paper experiments clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+test-fast:
+	REPRO_FAST=1 pytest tests/
+
+# Regenerate every paper table/figure + ablations (balanced profile).
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The paper's full 100-sample protocol (slow).
+bench-paper:
+	REPRO_PAPER=1 pytest benchmarks/ --benchmark-only
+
+# Print every experiment via the CLI (reduced samples).
+experiments:
+	REPRO_FAST=1 rcoal all
+
+clean:
+	rm -rf .pytest_cache benchmarks/results **/__pycache__

@@ -1,0 +1,78 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure via its experiment
+harness, asserts the paper's qualitative shape (who wins, by roughly what
+factor, where crossovers fall), prints the regenerated rows, and archives
+them under ``benchmarks/results/``.
+
+Experiments run once per benchmark (``pedantic`` with one round): the
+regenerated artifact is the point, not the harness's own latency
+distribution. Sample sizes default to a balanced profile that finishes the
+whole suite in tens of minutes on one core; set ``REPRO_SAMPLES`` (or
+``REPRO_PAPER=1`` for the paper's full 100-sample protocol) to rescale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default sample counts per experiment id: (balanced, paper).
+_PROFILES = {
+    "fig05": (60, 100),
+    "fig06": (100, 100),
+    "fig07": (60, 100),
+    "fig08": (60, 100),
+    "fig09": (1000, 1000),
+    "fig12": (60, 100),
+    "fig13": (60, 100),
+    "fig14": (60, 100),
+    "fig15": (60, 100),
+    "fig16": (25, 40),
+    "fig17": (60, 100),
+    "fig18": (30, 100),
+    "table2": (1, 1),
+}
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER", "").lower() in {"1", "true", "yes"}
+
+
+def context_for(experiment_id: str, root_seed: int = 2018
+                ) -> ExperimentContext:
+    """The benchmark context for one experiment."""
+    override = os.environ.get("REPRO_SAMPLES")
+    if override:
+        samples = int(override)
+    else:
+        balanced, paper = _PROFILES[experiment_id]
+        samples = paper if paper_scale() else balanced
+    return ExperimentContext(root_seed=root_seed, samples=samples)
+
+
+def record_result(result: ExperimentResult) -> None:
+    """Print and archive a regenerated table/figure."""
+    rendered = result.render()
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

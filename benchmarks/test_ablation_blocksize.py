@@ -1,0 +1,52 @@
+"""Ablation bench: defense strength vs memory-block size.
+
+Expected shape: at fixed M, the attack correlation rises monotonically
+with R (smaller blocks = fewer collisions = easier mimicry), so sectored
+memories would need larger num-subwarps for the same protection. The
+paper's R=16 sits in the middle of the sweep; the Monte Carlo tracks the
+closed forms at every point.
+"""
+
+import pytest
+
+from repro.analysis.model import rho_fss_rts, rho_rss_rts
+from repro.experiments import ablation_blocksize
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_blocksize(run_once):
+    result = run_once(ablation_blocksize.run, context_for("table2"))
+    record_result(result)
+    metrics = result.metrics
+
+    rs = sorted(metrics)
+    # Monotone weakening with R for both mechanisms.
+    rss_series = [metrics[r]["rss_rts"] for r in rs]
+    fss_series = [metrics[r]["fss_rts"] for r in rs]
+    assert rss_series == sorted(rss_series)
+    assert fss_series == sorted(fss_series)
+    # MC agrees with theory at every configuration.
+    for r in rs:
+        assert metrics[r]["fss_rts_mc"] == pytest.approx(
+            metrics[r]["fss_rts"], abs=0.05
+        )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_blocksize_trend_wide_sweep(run_once):
+    """The monotone trend over a wide R range, both M regimes."""
+    def sweep():
+        return {
+            (m, r): (float(rho_fss_rts(32, r, m)),
+                     float(rho_rss_rts(32, r, m)))
+            for m in (2, 8) for r in (4, 8, 16, 32, 64)
+        }
+
+    values = run_once(sweep)
+    for m in (2, 8):
+        series_f = [values[(m, r)][0] for r in (4, 8, 16, 32, 64)]
+        series_r = [values[(m, r)][1] for r in (4, 8, 16, 32, 64)]
+        assert series_f == sorted(series_f)
+        assert series_r == sorted(series_r)

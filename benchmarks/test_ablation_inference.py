@@ -1,0 +1,26 @@
+"""Ablation bench: num-subwarps inference from timing (Section IV-A).
+
+Expected shape: the execution-time steps between M values (Fig 7a) make
+the secret num-subwarps fully recoverable from a handful of timing
+observations — the justification for assuming the FSS attacker knows M.
+"""
+
+import pytest
+
+from repro.experiments import ablation_inference
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_inference(run_once):
+    ctx = context_for("fig16")
+    result = run_once(ablation_inference.run, ctx)
+    record_result(result)
+
+    assert result.metrics["accuracy"] == 1.0
+    calibration = result.metrics["calibration"]
+    # Calibrated means are strictly increasing in M (the Fig 7a staircase).
+    ms = sorted(calibration)
+    values = [calibration[m] for m in ms]
+    assert values == sorted(values)

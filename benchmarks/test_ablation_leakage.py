@@ -1,0 +1,32 @@
+"""Ablation bench: mutual-information leakage.
+
+Expected shape: FSS leaks bits at the scale of its full count entropy
+(~2-3 bits per load) at every M, while the randomized mechanisms leak well
+under half a bit — the model-free confirmation of the correlation story.
+"""
+
+import pytest
+
+from repro.experiments import ablation_leakage
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_leakage(run_once):
+    result = run_once(ablation_leakage.run, context_for("table2"))
+    record_result(result)
+    metrics = result.metrics
+
+    for m in (2, 4, 8, 16):
+        # FSS: the corresponding attack reads the full count.
+        assert metrics["fss"][m] > 1.5
+        # Randomized mechanisms: an order of magnitude less.
+        for mechanism in ("fss_rts", "rss", "rss_rts"):
+            assert metrics[mechanism][m] < 0.4
+            assert metrics[mechanism][m] < 0.25 * metrics["fss"][m]
+
+    # RTS strictly reduces leakage on top of each sizing scheme.
+    for m in (4, 8, 16):
+        assert metrics["fss_rts"][m] < metrics["fss"][m]
+        assert metrics["rss_rts"][m] <= metrics["rss"][m] + 0.02

@@ -1,0 +1,55 @@
+"""Ablation benches: measurement noise and energy overhead.
+
+Noise: the measured correlation attenuation must track the analytic
+1/sqrt(1 + ratio^2) factor — the bridge between the paper's strong
+(clean-channel) attacker and the realistic noisy one (Section V-C).
+
+Energy: the defenses' energy overhead mirrors the Fig 16 cost curves —
+monotone in num-subwarps, RSS-based cheapest, all converging at M=32.
+"""
+
+import pytest
+
+from repro.experiments import ablation_energy, ablation_noise
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_noise(run_once):
+    ctx = context_for("fig15")
+    result = run_once(ablation_noise.run, ctx)
+    record_result(result)
+    metrics = result.metrics
+
+    # Correlation decays monotonically with the noise ratio...
+    ratios = sorted(metrics)
+    correlations = [metrics[r]["corr"] for r in ratios]
+    assert correlations[0] > correlations[-1]
+    # ...and tracks the analytic attenuation at every point.
+    for ratio in ratios:
+        assert metrics[ratio]["corr"] == pytest.approx(
+            metrics[ratio]["predicted"], abs=0.08
+        )
+    # Recovery degrades from partial to none.
+    assert metrics[ratios[0]]["recovered"] >= 3
+    assert metrics[ratios[-1]]["recovered"] <= 1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_energy(run_once):
+    ctx = context_for("fig16")
+    result = run_once(ablation_energy.run, ctx)
+    record_result(result)
+    metrics = result.metrics
+
+    for mechanism, per_m in metrics.items():
+        ms = sorted(per_m)
+        totals = [per_m[m]["total"] for m in ms]
+        # Monotone overhead, converging near the nocoal point at M=32.
+        assert totals == sorted(totals), mechanism
+        assert 1.1 < totals[0] < 1.7
+        assert 2.0 < totals[-1] < 2.7
+    for m in (2, 8):
+        assert metrics["rss_rts"][m]["total"] \
+            <= metrics["fss"][m]["total"] + 0.02

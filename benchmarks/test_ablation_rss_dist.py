@@ -1,0 +1,34 @@
+"""Ablation bench: RSS sizing distributions (the paper's unshown result).
+
+Expected shape: normal-RSS(+RTS) performs like FSS on execution time (its
+sizes concentrate at 32/M) while the skewed distribution is cheaper; both
+randomized variants leak far less than FSS.
+"""
+
+import pytest
+
+from repro.experiments import ablation_rss_dist
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_rss_dist(run_once):
+    ctx = context_for("fig16")
+    result = run_once(ablation_rss_dist.run, ctx)
+    record_result(result)
+    metrics = result.metrics
+
+    for m in (4, 8):
+        # FSS leaks completely on the counts channel.
+        assert metrics["fss"][m]["corr"] == pytest.approx(1.0, abs=1e-6)
+        # Both randomized variants collapse the correlation.
+        assert abs(metrics["normal"][m]["corr"]) < 0.4
+        assert abs(metrics["skewed"][m]["corr"]) < 0.4
+        # Normal sizes ~= FSS cost ("similar to that of FSS"); skewed is
+        # the cheapest of the three.
+        assert metrics["normal"][m]["time"] == pytest.approx(
+            metrics["fss"][m]["time"], rel=0.05
+        )
+        assert metrics["skewed"][m]["time"] \
+            < metrics["normal"][m]["time"] + 0.02

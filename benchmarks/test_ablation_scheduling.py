@@ -1,0 +1,34 @@
+"""Ablation bench: scheduling noise vs timing channel.
+
+Expected shape: with 32 concurrent warps, DRAM/interconnect contention
+decouples the last-round time from any single warp's accesses (channel
+correlation collapses), while the counts channel stays exact — the
+measured justification for Fig 18's counts-based methodology.
+"""
+
+import pytest
+
+from repro.experiments import ablation_scheduling
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_scheduling(run_once):
+    ctx = context_for("fig16")
+    result = run_once(ablation_scheduling.run, ctx)
+    record_result(result)
+    metrics = result.metrics
+
+    single = metrics[32]
+    multi = metrics[1024]
+
+    # Single warp: clean channel, working timing attack.
+    assert single["channel_quality"] > 0.95
+    assert single["timing_attack_corr"] > 0.15
+    # 32 warps: the channel collapses and the timing attack with it.
+    assert multi["channel_quality"] < 0.5
+    assert multi["timing_attack_corr"] < single["timing_attack_corr"]
+    # The counts channel is exact regardless of scheduling noise.
+    assert single["counts_attack_corr"] == pytest.approx(1.0, abs=1e-6)
+    assert multi["counts_attack_corr"] == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,33 @@
+"""Ablation bench: selective RCoal (Section VII future work).
+
+Expected shape: protecting only the last round keeps the corresponding
+attack's correlation at the full defense's (low) level while execution time
+returns most of the way to baseline.
+"""
+
+import pytest
+
+from repro.experiments import ablation_selective
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_selective(run_once):
+    ctx = context_for("fig16")  # perf-profile sample counts
+    result = run_once(ablation_selective.run, ctx)
+    record_result(result)
+    full = result.metrics["full"]
+    selective = result.metrics["selective"]
+
+    for m in full:
+        # Security preserved: both stay far below the FSS leak level (1.0
+        # on this channel); the randomized draws keep correlations small.
+        assert abs(selective[m]["corr"]) < 0.45
+        assert abs(full[m]["corr"]) < 0.45
+        # Performance recovered: selective cuts at least half of the
+        # full-kernel overhead and lands within ~20% of baseline.
+        full_overhead = full[m]["time"] - 1.0
+        selective_overhead = selective[m]["time"] - 1.0
+        assert selective_overhead < 0.5 * full_overhead
+        assert selective[m]["time"] < 1.25

@@ -1,0 +1,23 @@
+"""Fig 5: last-round and total execution time both track coalescing.
+
+Paper: the total execution time is proportional to the last-round coalesced
+accesses, which justifies attacking the (cleaner) last-round time.
+"""
+
+import pytest
+
+from repro.experiments import fig05
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05(run_once):
+    result = run_once(fig05.run, context_for("fig05"))
+    record_result(result)
+
+    # The last-round time is ~perfectly linear in last-round accesses.
+    assert result.metrics["corr_last_accesses"] > 0.95
+    # The total time correlates positively too (diluted by the 9 other
+    # rounds' equal variance: ~1/sqrt(10) if perfectly linear).
+    assert result.metrics["corr_total_last"] > 0.2

@@ -1,0 +1,33 @@
+"""Fig 7: FSS performance and the baseline attack against an FSS machine.
+
+Paper: execution time and memory accesses rise monotonically with
+num-subwarps (roughly doubling by M=32), while the baseline (M=1 model)
+attack's average correlation falls toward zero.
+"""
+
+import pytest
+
+from repro.experiments import fig07
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07(run_once):
+    result = run_once(fig07.run, context_for("fig07"))
+    record_result(result)
+    times = result.metrics["normalized_times"]
+    corr = result.metrics["avg_corr"]
+
+    # 7a: monotone cost in num-subwarps, ~2x at M=32 (paper ~2.2x).
+    sweep = sorted(times)
+    values = [times[m] for m in sweep]
+    assert values == sorted(values)
+    assert times[1] == pytest.approx(1.0)
+    assert 1.8 < times[32] < 2.6
+
+    # 7b: the baseline attack's correlation decreases with num-subwarps
+    # and is near zero at M=32 (the machine's counts are constant).
+    assert corr[1] > 0.2
+    assert corr[1] > corr[4] > corr[32] - 0.02
+    assert abs(corr[32]) < 0.1

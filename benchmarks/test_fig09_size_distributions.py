@@ -1,0 +1,42 @@
+"""Fig 9: RSS subwarp-size distributions (normal vs skewed), M=4.
+
+Paper: the normal variant clusters tightly around 32/M = 8; the skewed
+variant (uniform over compositions) is right-skewed with no empty subwarp
+and all size combinations equally likely.
+"""
+
+import pytest
+
+from repro.analysis.combinatorics import num_compositions
+from repro.experiments import fig09
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09(run_once):
+    result = run_once(fig09.run, context_for("fig09"))
+    record_result(result)
+    normal = result.metrics["normal_histogram"]
+    skewed = result.metrics["skewed_histogram"]
+
+    total = 1000 * 4
+    assert sum(normal.values()) == sum(skewed.values()) == total
+
+    # Both distributions share the mean 32/M = 8 (sizes always sum to 32).
+    mean = lambda h: sum(s * c for s, c in h.items()) / sum(h.values())
+    assert mean(normal) == pytest.approx(8.0)
+    assert mean(skewed) == pytest.approx(8.0)
+
+    # Normal: concentrated around the mean.
+    assert sum(normal.get(s, 0) for s in (7, 8, 9)) / total > 0.5
+    # Skewed: monotone-decreasing marginal with a long right tail —
+    # size 1 is the most likely and sizes beyond 16 still occur.
+    assert skewed[1] == max(skewed.values())
+    assert max(skewed) > 20
+    assert min(skewed) >= 1  # no empty subwarp, ever
+
+    # The skewed marginal matches the uniform-composition law
+    # P(w1=k) = C(31-k, 2) / C(31, 3) within sampling error.
+    expected_p1 = num_compositions(31, 3) / num_compositions(32, 4)
+    assert skewed[1] / total == pytest.approx(expected_p1, rel=0.15)

@@ -1,0 +1,28 @@
+"""Fig 12: FSS+RTS against its corresponding (mimicking) attack.
+
+Paper: recovery becomes difficult as num-subwarps grows — the attacker
+implements RTS too but cannot match the victim's private permutation.
+"""
+
+import pytest
+
+from repro.experiments import fig12
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12(run_once):
+    result = run_once(fig12.run, context_for("fig12"))
+    record_result(result)
+    corr = result.metrics["avg_corr"]
+    recovered = result.metrics["bytes_recovered"]
+
+    # The timing-channel correlation collapses well below the undefended
+    # level (~0.25) for M >= 4, and key recovery fails.
+    for m in (4, 8, 16):
+        assert abs(corr[m]) < 0.15, f"FSS+RTS still leaking at M={m}"
+        assert recovered[m] <= 2
+
+    # Theory ordering: leakage at M=2 exceeds leakage at M=16.
+    assert corr[2] > corr[16] - 0.05

@@ -1,0 +1,23 @@
+"""Fig 14: RSS+RTS against its corresponding attack.
+
+Paper: with randomness in both sizing and threading, recovery of the
+correct key byte is difficult for num-subwarps > 2.
+"""
+
+import pytest
+
+from repro.experiments import fig14
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14(run_once):
+    result = run_once(fig14.run, context_for("fig14"))
+    record_result(result)
+    corr = result.metrics["avg_corr"]
+    recovered = result.metrics["bytes_recovered"]
+
+    for m in (4, 8, 16):
+        assert abs(corr[m]) < 0.2, f"RSS+RTS still leaking at M={m}"
+        assert recovered[m] <= 2

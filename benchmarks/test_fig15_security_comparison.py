@@ -1,0 +1,34 @@
+"""Fig 15: security comparison of all four mechanisms.
+
+Paper: FSS stays highly correlated under its attack at every M < 32 while
+the randomized mechanisms collapse toward zero for M >= 2.
+"""
+
+import pytest
+
+from repro.experiments import fig15
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15(run_once):
+    result = run_once(fig15.run, context_for("fig15"))
+    record_result(result)
+    corr = result.metrics["avg_corr"]
+
+    # At M=1 every mechanism degenerates to the baseline machine.
+    baseline_level = corr["fss"][1]
+    for mech in ("fss_rts", "rss", "rss_rts"):
+        assert corr[mech][1] == pytest.approx(baseline_level, abs=1e-9)
+
+    # FSS keeps leaking at its baseline level across the sweep...
+    for m in (2, 4, 8, 16):
+        assert corr["fss"][m] > 0.15
+
+    # ...while every randomized mechanism collapses for M >= 4.
+    for mech in ("fss_rts", "rss", "rss_rts"):
+        for m in (4, 8):
+            assert abs(corr[mech][m]) < corr["fss"][m], \
+                f"{mech} at M={m} leaks as much as FSS"
+        assert abs(corr[mech][4]) < 0.18

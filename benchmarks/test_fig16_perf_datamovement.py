@@ -1,0 +1,46 @@
+"""Fig 16: execution time and data movement of all four mechanisms.
+
+Paper: both grow monotonically with num-subwarps; RTS is performance-
+neutral; RSS-based mechanisms cost less than FSS-based at equal M; the
+headline overhead band is 5-28% for the recommended configurations
+(M = 2..16, RSS-based at the low end).
+"""
+
+import pytest
+
+from repro.experiments import fig16
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16(run_once):
+    result = run_once(fig16.run, context_for("fig16"))
+    record_result(result)
+    times = result.metrics["normalized_time"]
+    accesses = result.metrics["total_accesses"]
+
+    for mech in times:
+        sweep = sorted(times[mech])
+        # Monotone cost in both metrics.
+        assert [times[mech][m] for m in sweep] \
+            == sorted(times[mech][m] for m in sweep)
+        assert [accesses[mech][m] for m in sweep] \
+            == sorted(accesses[mech][m] for m in sweep)
+
+    for m in (2, 4, 8, 16):
+        # RTS is performance-neutral (within measurement noise).
+        assert times["fss_rts"][m] == pytest.approx(times["fss"][m],
+                                                    rel=0.04)
+        assert times["rss_rts"][m] == pytest.approx(times["rss"][m],
+                                                    rel=0.04)
+        # RSS-based mechanisms beat FSS-based at equal M.
+        assert times["rss"][m] < times["fss"][m] + 0.02
+        assert accesses["rss"][m] < accesses["fss"][m] * 1.01
+
+    # At M=32 everything degenerates to coalescing-off.
+    nocoal = result.metrics["nocoal_time_factor"]
+    for mech in times:
+        assert times[mech][32] == pytest.approx(nocoal, rel=0.03)
+    assert 1.8 < nocoal < 2.8
+    assert 2.0 < result.metrics["nocoal_access_factor"] < 2.8

@@ -1,0 +1,49 @@
+"""Fig 18: the 1024-line (32-warp) case study.
+
+Paper: (a) average correlation between estimated and observed last-round
+accesses falls for the randomized mechanisms at num-subwarps > 1 while FSS
+stays fully correlated; (b) execution time grows with num-subwarps, RTS is
+time-neutral and RSS-based mechanisms stay cheaper than FSS-based
+(RSS+RTS degrades 29-76% over M = 2..8).
+"""
+
+import pytest
+
+from repro.experiments import fig18
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18(run_once):
+    result = run_once(fig18.run, context_for("fig18"))
+    record_result(result)
+    corr = result.metrics["avg_corr"]
+    times = result.metrics["normalized_time"]
+
+    # 18a: FSS's attack reconstructs the observed counts exactly.
+    for m in (1, 2, 4, 8):
+        assert corr["fss"][m] == pytest.approx(1.0, abs=1e-6)
+    # The randomized mechanisms drop sharply for M >= 2.
+    for mech in ("fss_rts", "rss", "rss_rts"):
+        assert corr[mech][1] == pytest.approx(1.0, abs=1e-6)
+        for m in (2, 4, 8):
+            assert corr[mech][m] < 0.6
+    # The RTS-bearing mechanisms also decay with M (Table II); standalone
+    # RSS retains a position-structure leak through its in-order
+    # assignment — the reason the paper pairs it with RTS.
+    for mech in ("fss_rts", "rss_rts"):
+        assert corr[mech][8] < corr[mech][2] + 0.05
+    assert corr["rss"][8] > corr["rss_rts"][8]
+
+    # 18b: monotone cost; RTS time-neutral; RSS cheaper than FSS;
+    # RSS+RTS overhead in the paper's 29-76% band for M = 2..8.
+    for mech in times:
+        sweep = sorted(times[mech])
+        assert [times[mech][m] for m in sweep] \
+            == sorted(times[mech][m] for m in sweep)
+    for m in (2, 4, 8):
+        assert times["fss_rts"][m] == pytest.approx(times["fss"][m],
+                                                    rel=0.04)
+        assert times["rss"][m] <= times["fss"][m] + 0.02
+        assert 1.2 < times["rss_rts"][m] < 2.1

@@ -1,0 +1,44 @@
+"""Table II: theoretical rho and normalized samples, with MC cross-check.
+
+Paper values: rho (FSS+RTS, RSS+RTS) = (0.41, 0.20), (0.20, 0.15),
+(0.09, 0.11), (0.03, 0.05) for M = 2, 4, 8, 16; S = 6/25, 24/42, 115/78,
+961/349; FSS is 1.0 / S=1 throughout and everything collapses at M=32.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.security import PAPER_TABLE2, security_table
+from repro.experiments import table2
+
+from conftest import context_for, record_result
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_theory(run_once):
+    rows = run_once(security_table)
+    by_m = {row.num_subwarps: row for row in rows}
+
+    for m, expected in PAPER_TABLE2.items():
+        rho_fss, rho_fss_rts, rho_rss_rts = expected["rho"]
+        assert by_m[m].rho_fss == pytest.approx(rho_fss, abs=0.005)
+        assert by_m[m].rho_fss_rts == pytest.approx(rho_fss_rts, abs=0.005)
+        assert by_m[m].rho_rss_rts == pytest.approx(rho_rss_rts, abs=0.005)
+
+    # Headline: 961x at FSS+RTS M=16, crossover between mechanisms at M=8.
+    assert by_m[16].s_fss_rts == pytest.approx(961, abs=1)
+    assert by_m[4].s_rss_rts > by_m[4].s_fss_rts
+    assert by_m[8].s_fss_rts > by_m[8].s_rss_rts
+    assert math.isinf(by_m[32].s_fss)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_with_montecarlo(run_once):
+    result = run_once(table2.run, context_for("table2"))
+    record_result(result)
+    # MC columns sit next to the exact ones in every row.
+    for row in result.rows:
+        m, _, rho_fr, mc_fr, rho_rr, mc_rr = row[:6]
+        assert mc_fr == pytest.approx(rho_fr, abs=0.06)
+        assert mc_rr == pytest.approx(rho_rr, abs=0.06)

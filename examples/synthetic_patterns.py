@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""How much does RCoal cost on non-AES access patterns?
+
+The paper characterizes RCoal's overhead on AES (uniform random lookups
+over 16 blocks). This example sweeps coalescing policies over synthetic
+patterns — perfectly coalescible, uncoalescible, AES-like random, and
+hotspot — showing that the overhead is a property of the workload's
+*coalescibility*: subwarping a sequential kernel multiplies its traffic by
+the subwarp count, while an already-uncoalescible kernel pays nothing.
+
+Run:  python examples/synthetic_patterns.py        (~30 seconds)
+"""
+
+from repro import RngStream, make_policy
+from repro.core.rcoal import RCoalGPU
+from repro.workloads.synthetic import (
+    HotspotPattern,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    SyntheticKernel,
+)
+
+PATTERNS = (
+    SequentialPattern(),
+    RandomPattern(num_blocks=16),
+    HotspotPattern(),
+    StridedPattern(),
+)
+POLICIES = (("baseline", 1), ("rss_rts", 4), ("rss_rts", 16), ("nocoal", 32))
+
+
+def main() -> None:
+    print(f"{'pattern':>10} | " + " | ".join(
+        f"{name}(M={m}):time/acc".rjust(24) for name, m in POLICIES))
+    print("-" * (13 + 27 * len(POLICIES)))
+
+    for pattern in PATTERNS:
+        cells = []
+        baseline_time = None
+        for name, m in POLICIES:
+            policy = make_policy(name, m)
+            gpu = RCoalGPU(policy)
+            kernel = SyntheticKernel(pattern, num_warps=1)
+            programs = kernel.build(RngStream(5, f"pat-{pattern.name}"))
+            rng = (RngStream(5, f"victim-{pattern.name}-{name}-{m}")
+                   if policy.is_randomized else None)
+            result = gpu.launch(programs, rng).result
+            if baseline_time is None:
+                baseline_time = result.total_time
+            cells.append(
+                f"{result.total_time / baseline_time:5.2f}x /"
+                f"{result.table_accesses:6d}".rjust(24)
+            )
+        print(f"{pattern.name:>10} | " + " | ".join(cells))
+
+    print("\nreading guide:")
+    print("  * sequential: fully coalescible -> subwarping multiplies "
+          "traffic by ~M (the defense's worst case)")
+    print("  * strided: one block per thread anyway -> randomization is "
+          "free")
+    print("  * random(R=16): the AES regime the paper reports (~2x at "
+          "full split)")
+
+
+if __name__ == "__main__":
+    main()

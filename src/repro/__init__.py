@@ -1,0 +1,78 @@
+"""RCoal: subwarp-based randomized GPU memory coalescing defenses.
+
+A full reproduction of *Kadam, Zhang & Jog, "RCoal: Mitigating GPU Timing
+Attack via Subwarp-Based Randomized Coalescing Techniques" (HPCA 2018)*:
+
+* :mod:`repro.aes` — the AES-128 substrate (FIPS-verified, with per-round
+  table-lookup traces);
+* :mod:`repro.gpu` — a discrete-event GPU timing simulator (SMs, coalescing
+  unit with subwarp-id PRT, crossbar, banked GDDR5 with FR-FCFS);
+* :mod:`repro.core` — the contribution: FSS / RSS / RTS coalescing policies,
+  RCoalGPU, and the RCoal_Score metric;
+* :mod:`repro.attack` — the correlation timing attack family (baseline,
+  Algorithm 1, and the mimicking corresponding attacks);
+* :mod:`repro.analysis` — the exact Section V security model (Table II);
+* :mod:`repro.workloads` — plaintext generation and the victim server;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import (EncryptionServer, make_policy, RngStream,
+                       random_plaintexts)
+
+    key = b"sixteen byte key"
+    server = EncryptionServer(key, make_policy("rss_rts", 8),
+                              rng=RngStream(1, "victim"))
+    record = server.encrypt(random_plaintexts(1, 32, RngStream(1, "pt"))[0])
+    print(record.total_time, record.last_round_accesses)
+"""
+
+from repro.aes import TTableAES, encrypt_block, decrypt_block, \
+    expand_key, last_round_key, recover_master_key
+from repro.analysis import security_table
+from repro.attack import (
+    AccessEstimator,
+    CorrelationTimingAttack,
+    fss_attack_last_round_accesses,
+    samples_needed,
+)
+from repro.core import (
+    CoalescingPolicy,
+    RCoalGPU,
+    SubwarpPartition,
+    make_policy,
+    rcoal_score,
+)
+from repro.errors import ReproError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.gpu import GPUConfig, GPUSimulator
+from repro.rng import RngStream
+from repro.workloads import EncryptionRecord, EncryptionServer, \
+    random_plaintexts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # aes
+    "TTableAES", "encrypt_block", "decrypt_block", "expand_key",
+    "last_round_key", "recover_master_key",
+    # gpu
+    "GPUConfig", "GPUSimulator",
+    # core
+    "CoalescingPolicy", "make_policy", "SubwarpPartition", "RCoalGPU",
+    "rcoal_score",
+    # attack
+    "AccessEstimator", "CorrelationTimingAttack",
+    "fss_attack_last_round_accesses", "samples_needed",
+    # analysis
+    "security_table",
+    # workloads
+    "EncryptionServer", "EncryptionRecord", "random_plaintexts",
+    # experiments
+    "ExperimentContext", "run_experiment",
+    # errors
+    "ReproError",
+    # rng
+    "RngStream",
+]

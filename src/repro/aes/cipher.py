@@ -1,0 +1,107 @@
+"""Reference AES-128 block cipher (FIPS-197 formulation).
+
+This is the ground-truth implementation: SubBytes / ShiftRows / MixColumns /
+AddRoundKey on a column-major 4x4 state. The GPU-style T-table formulation in
+:mod:`repro.aes.ttable` is verified against it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.key_schedule import NUM_ROUNDS, expand_key
+from repro.aes.sbox import INV_SBOX, SBOX, gf_mul
+from repro.errors import BlockSizeError
+
+__all__ = ["BLOCK_BYTES", "encrypt_block", "decrypt_block"]
+
+#: AES block size in bytes.
+BLOCK_BYTES = 16
+
+# State layout: state[r][c] with input byte i mapped to state[i % 4][i // 4].
+
+
+def _bytes_to_state(block: bytes) -> List[List[int]]:
+    if len(block) != BLOCK_BYTES:
+        raise BlockSizeError(f"AES blocks are 16 bytes, got {len(block)}")
+    return [[block[r + 4 * c] for c in range(4)] for r in range(4)]
+
+
+def _state_to_bytes(state: List[List[int]]) -> bytes:
+    return bytes(state[i % 4][i // 4] for i in range(BLOCK_BYTES))
+
+
+def _add_round_key(state: List[List[int]], round_key: bytes) -> None:
+    for c in range(4):
+        for r in range(4):
+            state[r][c] ^= round_key[4 * c + r]
+
+
+def _sub_bytes(state: List[List[int]], box) -> None:
+    for r in range(4):
+        for c in range(4):
+            state[r][c] = box[state[r][c]]
+
+
+def _shift_rows(state: List[List[int]]) -> None:
+    for r in range(1, 4):
+        state[r] = state[r][r:] + state[r][:r]
+
+
+def _inv_shift_rows(state: List[List[int]]) -> None:
+    for r in range(1, 4):
+        state[r] = state[r][-r:] + state[r][:-r]
+
+
+def _mix_columns(state: List[List[int]]) -> None:
+    for c in range(4):
+        a = [state[r][c] for r in range(4)]
+        state[0][c] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[1][c] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3]
+        state[2][c] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3)
+        state[3][c] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2)
+
+
+def _inv_mix_columns(state: List[List[int]]) -> None:
+    for c in range(4):
+        a = [state[r][c] for r in range(4)]
+        state[0][c] = (gf_mul(a[0], 14) ^ gf_mul(a[1], 11)
+                       ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9))
+        state[1][c] = (gf_mul(a[0], 9) ^ gf_mul(a[1], 14)
+                       ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13))
+        state[2][c] = (gf_mul(a[0], 13) ^ gf_mul(a[1], 9)
+                       ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11))
+        state[3][c] = (gf_mul(a[0], 11) ^ gf_mul(a[1], 13)
+                       ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14))
+
+
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    round_keys = expand_key(key)
+    state = _bytes_to_state(plaintext)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, NUM_ROUNDS):
+        _sub_bytes(state, SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    _sub_bytes(state, SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[NUM_ROUNDS])
+    return _state_to_bytes(state)
+
+
+def decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128."""
+    round_keys = expand_key(key)
+    state = _bytes_to_state(ciphertext)
+    _add_round_key(state, round_keys[NUM_ROUNDS])
+    _inv_shift_rows(state)
+    _sub_bytes(state, INV_SBOX)
+    for round_index in range(NUM_ROUNDS - 1, 0, -1):
+        _add_round_key(state, round_keys[round_index])
+        _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _sub_bytes(state, INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return _state_to_bytes(state)

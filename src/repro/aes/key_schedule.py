@@ -1,0 +1,130 @@
+"""AES-128 key expansion and its inverse.
+
+The baseline attack recovers the **last round key** (round 10). That is as
+good as the master key because the key schedule is invertible: given any
+round key and its round number, :func:`recover_master_key` walks the schedule
+backwards (Neve & Seifert; paper Section II-C). The test suite round-trips
+random keys through expansion and inversion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aes.sbox import SBOX
+from repro.errors import KeySizeError
+
+__all__ = [
+    "NUM_ROUNDS",
+    "ROUND_KEY_BYTES",
+    "expand_key",
+    "last_round_key",
+    "recover_master_key",
+    "rcon",
+]
+
+#: AES-128 encrypts in 10 rounds.
+NUM_ROUNDS = 10
+
+#: Every round key is 16 bytes (four 32-bit words).
+ROUND_KEY_BYTES = 16
+
+_WORDS_PER_KEY = 4
+
+
+def rcon(i: int) -> int:
+    """Round constant: x^(i-1) in GF(2^8), for i >= 1."""
+    if i < 1:
+        raise ValueError(f"rcon index must be >= 1, got {i}")
+    value = 1
+    for _ in range(i - 1):
+        value <<= 1
+        if value & 0x100:
+            value ^= 0x11B
+    return value & 0xFF
+
+
+def _sub_word(word: Tuple[int, int, int, int]) -> Tuple[int, int, int, int]:
+    return tuple(SBOX[b] for b in word)  # type: ignore[return-value]
+
+
+def _rot_word(word: Tuple[int, int, int, int]) -> Tuple[int, int, int, int]:
+    return word[1:] + word[:1]
+
+
+def _xor_words(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(x ^ y for x, y in zip(a, b))
+
+
+def expand_key(key: bytes) -> List[bytes]:
+    """Expand a 16-byte AES-128 key into 11 round keys (round 0..10)."""
+    if len(key) != ROUND_KEY_BYTES:
+        raise KeySizeError(
+            f"AES-128 requires a 16-byte key, got {len(key)} bytes"
+        )
+    words: List[Tuple[int, ...]] = [
+        tuple(key[4 * i: 4 * i + 4]) for i in range(_WORDS_PER_KEY)
+    ]
+    for i in range(_WORDS_PER_KEY, _WORDS_PER_KEY * (NUM_ROUNDS + 1)):
+        temp = words[i - 1]
+        if i % _WORDS_PER_KEY == 0:
+            temp = _sub_word(_rot_word(temp))
+            temp = (temp[0] ^ rcon(i // _WORDS_PER_KEY),) + temp[1:]
+        words.append(_xor_words(words[i - _WORDS_PER_KEY], temp))
+
+    round_keys = []
+    for round_index in range(NUM_ROUNDS + 1):
+        start = round_index * _WORDS_PER_KEY
+        flat = bytes(
+            b for word in words[start:start + _WORDS_PER_KEY] for b in word
+        )
+        round_keys.append(flat)
+    return round_keys
+
+
+def last_round_key(key: bytes) -> bytes:
+    """The round-10 key — the attack's target — for a given master key."""
+    return expand_key(key)[NUM_ROUNDS]
+
+
+def recover_master_key(round_key: bytes, round_index: int = NUM_ROUNDS) -> bytes:
+    """Invert the key schedule from any round key back to the master key.
+
+    Parameters
+    ----------
+    round_key:
+        The 16-byte key of round ``round_index``.
+    round_index:
+        Which round the key belongs to (defaults to the last round, which is
+        what the correlation attack recovers).
+    """
+    if len(round_key) != ROUND_KEY_BYTES:
+        raise KeySizeError(
+            f"round keys are 16 bytes, got {len(round_key)} bytes"
+        )
+    if not 0 <= round_index <= NUM_ROUNDS:
+        raise ValueError(f"round index out of range: {round_index}")
+
+    words: List[Tuple[int, ...]] = [
+        tuple(round_key[4 * i: 4 * i + 4]) for i in range(_WORDS_PER_KEY)
+    ]
+    # words currently holds words [4r .. 4r+3]; walk back to [0..3].
+    first = round_index * _WORDS_PER_KEY
+    for i in range(first + _WORDS_PER_KEY - 1, _WORDS_PER_KEY - 1, -1):
+        # Invert: words[i] = words[i-4] ^ f(words[i-1])
+        # We know words[i] and words[i-1]; recover words[i-4].
+        current = words[i - first]
+        previous = words[i - 1 - first] if i - 1 >= first else None
+        if previous is None:
+            raise AssertionError("window underflow during inversion")
+        if i % _WORDS_PER_KEY == 0:
+            temp = _sub_word(_rot_word(previous))
+            temp = (temp[0] ^ rcon(i // _WORDS_PER_KEY),) + temp[1:]
+        else:
+            temp = previous
+        recovered = _xor_words(current, temp)
+        words.insert(0, recovered)
+        first -= 1
+
+    master = bytes(b for word in words[:_WORDS_PER_KEY] for b in word)
+    return master

@@ -1,0 +1,123 @@
+"""Multi-line plaintext encryption and standard block-cipher modes.
+
+The GPU workload encrypts a plaintext of L "lines" (16-byte blocks), one line
+per thread, ECB-style: each line is independently AES-encrypted with the same
+key (the mode used by the attacked implementation — independence across
+threads is what lets the attacker model each warp's last round). Line-to-
+thread mapping is sequential and deterministic, matching the baseline kernel.
+
+CBC and CTR are provided for substrate completeness. CTR is the other mode
+GPU AES libraries commonly parallelize (one counter block per thread); its
+last-round lookups are driven by the counter stream rather than the
+plaintext, so the Jiang-et-al. attack applies to the keystream generation
+with known counters — the coalescing leak is unchanged. CBC's chaining is
+inherently sequential and is included only as a reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.cipher import BLOCK_BYTES, decrypt_block, encrypt_block
+from repro.errors import BlockSizeError
+from repro.utils import xor_bytes
+
+__all__ = [
+    "split_lines",
+    "join_lines",
+    "encrypt_lines",
+    "decrypt_lines",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "ctr_keystream",
+    "crypt_ctr",
+    "counter_block",
+]
+
+
+def split_lines(plaintext: bytes) -> List[bytes]:
+    """Split a plaintext into 16-byte lines; length must be a multiple."""
+    if len(plaintext) % BLOCK_BYTES != 0:
+        raise BlockSizeError(
+            f"plaintext length {len(plaintext)} is not a multiple of "
+            f"{BLOCK_BYTES}"
+        )
+    return [plaintext[i:i + BLOCK_BYTES]
+            for i in range(0, len(plaintext), BLOCK_BYTES)]
+
+
+def join_lines(lines: List[bytes]) -> bytes:
+    """Inverse of :func:`split_lines`."""
+    return b"".join(lines)
+
+
+def encrypt_lines(plaintext: bytes, key: bytes) -> bytes:
+    """ECB-encrypt a multi-line plaintext (one AES block per line)."""
+    return join_lines([encrypt_block(line, key)
+                       for line in split_lines(plaintext)])
+
+
+def decrypt_lines(ciphertext: bytes, key: bytes) -> bytes:
+    """ECB-decrypt a multi-line ciphertext."""
+    return join_lines([decrypt_block(line, key)
+                       for line in split_lines(ciphertext)])
+
+
+# -- CBC ---------------------------------------------------------------------
+
+
+def _check_iv(iv: bytes) -> None:
+    if len(iv) != BLOCK_BYTES:
+        raise BlockSizeError(f"IV must be {BLOCK_BYTES} bytes, got {len(iv)}")
+
+
+def encrypt_cbc(plaintext: bytes, key: bytes, iv: bytes) -> bytes:
+    """CBC-encrypt a multiple-of-16 plaintext."""
+    _check_iv(iv)
+    previous = iv
+    out: List[bytes] = []
+    for line in split_lines(plaintext):
+        previous = encrypt_block(xor_bytes(line, previous), key)
+        out.append(previous)
+    return join_lines(out)
+
+
+def decrypt_cbc(ciphertext: bytes, key: bytes, iv: bytes) -> bytes:
+    """CBC-decrypt a multiple-of-16 ciphertext."""
+    _check_iv(iv)
+    previous = iv
+    out: List[bytes] = []
+    for line in split_lines(ciphertext):
+        out.append(xor_bytes(decrypt_block(line, key), previous))
+        previous = line
+    return join_lines(out)
+
+
+# -- CTR ---------------------------------------------------------------------
+
+
+def counter_block(nonce: bytes, counter: int) -> bytes:
+    """A 16-byte counter block: 8-byte nonce || 8-byte big-endian counter
+    (the layout a per-thread GPU CTR kernel derives from its thread id)."""
+    if len(nonce) != 8:
+        raise BlockSizeError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+    if not 0 <= counter < 2 ** 64:
+        raise BlockSizeError(f"counter out of range: {counter}")
+    return nonce + counter.to_bytes(8, "big")
+
+
+def ctr_keystream(key: bytes, nonce: bytes, num_blocks: int,
+                  initial_counter: int = 0) -> bytes:
+    """``num_blocks`` blocks of AES-CTR keystream."""
+    return b"".join(
+        encrypt_block(counter_block(nonce, initial_counter + i), key)
+        for i in range(num_blocks)
+    )
+
+
+def crypt_ctr(data: bytes, key: bytes, nonce: bytes,
+              initial_counter: int = 0) -> bytes:
+    """CTR encryption/decryption (self-inverse). Handles any length."""
+    num_blocks = (len(data) + BLOCK_BYTES - 1) // BLOCK_BYTES
+    keystream = ctr_keystream(key, nonce, num_blocks, initial_counter)
+    return xor_bytes(data, keystream[:len(data)])

@@ -1,0 +1,96 @@
+"""Rijndael S-box construction from GF(2^8) arithmetic.
+
+Rather than embedding the 256-byte table as opaque constants, the S-box is
+derived here from first principles — multiplicative inversion in
+GF(2^8)/(x^8+x^4+x^3+x+1) followed by the affine transform — and the test
+suite checks the construction against FIPS-197 reference values. This keeps
+the substrate self-contained and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "GF_MODULUS",
+    "gf_mul",
+    "gf_inverse",
+    "xtime",
+    "SBOX",
+    "INV_SBOX",
+]
+
+#: The AES field modulus x^8 + x^4 + x^3 + x + 1, as a bit mask.
+GF_MODULUS = 0x11B
+
+#: Affine transform constant added after inversion (FIPS-197 section 5.1.1).
+_AFFINE_CONSTANT = 0x63
+
+
+def xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= GF_MODULUS
+    return value & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Carry-less multiplication of ``a`` and ``b`` modulo the AES polynomial."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); by convention ``inverse(0) == 0``.
+
+    Computed as ``a^254`` (Fermat in GF(2^8): a^255 = 1 for a != 0) via
+    square-and-multiply.
+    """
+    if a == 0:
+        return 0
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, power)
+        power = gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _affine(value: int) -> int:
+    """The FIPS-197 affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63."""
+    def rotl8(x: int, shift: int) -> int:
+        return ((x << shift) | (x >> (8 - shift))) & 0xFF
+
+    return (
+        value
+        ^ rotl8(value, 1)
+        ^ rotl8(value, 2)
+        ^ rotl8(value, 3)
+        ^ rotl8(value, 4)
+        ^ _AFFINE_CONSTANT
+    )
+
+
+def _build_sbox() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    forward: List[int] = [0] * 256
+    inverse: List[int] = [0] * 256
+    for x in range(256):
+        s = _affine(gf_inverse(x))
+        forward[x] = s
+        inverse[s] = x
+    return tuple(forward), tuple(inverse)
+
+
+#: The Rijndael substitution box and its inverse.
+SBOX, INV_SBOX = _build_sbox()

@@ -1,0 +1,118 @@
+"""AES T-tables and their GPU memory layout.
+
+GPU AES implementations replace the per-round SubBytes/ShiftRows/MixColumns
+sequence with lookups into four precomputed 256-entry tables of 32-bit words
+(T0..T3), plus a fifth table T4 for the final round (which omits MixColumns).
+The tables live in global memory, so every lookup is a global load — the
+memory traffic that intra-warp coalescing merges and that the timing attack
+observes.
+
+Layout reproduced from the paper's configuration (Section II-C): each table
+entry is 4 bytes, a cache-line-sized memory block is 64 bytes, so **16
+consecutive table entries map to the same memory block** and each 1 KB table
+spans **R = 16 blocks**. ``block_of_index`` is exactly the ``index >> 4`` of
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.aes.sbox import SBOX, gf_mul
+
+__all__ = [
+    "ENTRY_BYTES",
+    "BLOCK_BYTES",
+    "ENTRIES_PER_BLOCK",
+    "TABLE_ENTRIES",
+    "TABLE_BYTES",
+    "NUM_TABLE_BLOCKS",
+    "NUM_ROUND_TABLES",
+    "LAST_ROUND_TABLE_ID",
+    "T0",
+    "T1",
+    "T2",
+    "T3",
+    "T4",
+    "ROUND_TABLES",
+    "block_of_index",
+    "table_entry_bytes",
+]
+
+#: Bytes per table entry (a packed 32-bit word).
+ENTRY_BYTES = 4
+
+#: Bytes per coalescing memory block (one cache-line-sized access).
+BLOCK_BYTES = 64
+
+#: Table entries sharing one memory block: 64 / 4 = 16.
+ENTRIES_PER_BLOCK = BLOCK_BYTES // ENTRY_BYTES
+
+#: Entries per table (one per byte value).
+TABLE_ENTRIES = 256
+
+#: Bytes per table.
+TABLE_BYTES = TABLE_ENTRIES * ENTRY_BYTES
+
+#: Memory blocks per table — the paper's R = 16.
+NUM_TABLE_BLOCKS = TABLE_ENTRIES // ENTRIES_PER_BLOCK
+
+#: Number of main-round tables (T0..T3).
+NUM_ROUND_TABLES = 4
+
+#: Table id used for the last round (T4).
+LAST_ROUND_TABLE_ID = 4
+
+
+def block_of_index(index: int) -> int:
+    """Memory block (0..15) holding table entry ``index`` (0..255).
+
+    This is the ``holder[... >> 4]`` computation of Algorithm 1.
+    """
+    if not 0 <= index < TABLE_ENTRIES:
+        raise ValueError(f"table index out of range: {index}")
+    return index >> 4
+
+
+def _build_t0() -> Tuple[Tuple[int, int, int, int], ...]:
+    """T0[x] = (2*S[x], S[x], S[x], 3*S[x]) — one MixColumns column of S[x]."""
+    entries = []
+    for x in range(TABLE_ENTRIES):
+        s = SBOX[x]
+        entries.append((gf_mul(s, 2), s, s, gf_mul(s, 3)))
+    return tuple(entries)
+
+
+def _rotate_entry(entry: Tuple[int, int, int, int], k: int
+                  ) -> Tuple[int, int, int, int]:
+    """Rotate a 4-byte entry right by ``k`` positions (T1..T3 from T0)."""
+    return tuple(entry[(i - k) % 4] for i in range(4))  # type: ignore[return-value]
+
+
+def _build_round_tables():
+    t0 = _build_t0()
+    t1 = tuple(_rotate_entry(e, 1) for e in t0)
+    t2 = tuple(_rotate_entry(e, 2) for e in t0)
+    t3 = tuple(_rotate_entry(e, 3) for e in t0)
+    return t0, t1, t2, t3
+
+
+def _build_t4() -> Tuple[Tuple[int, int, int, int], ...]:
+    """T4[x] = (S[x], S[x], S[x], S[x]) — last round packs the bare S-box."""
+    return tuple((SBOX[x],) * 4 for x in range(TABLE_ENTRIES))
+
+
+T0, T1, T2, T3 = _build_round_tables()
+T4 = _build_t4()
+
+#: Main-round tables indexed by table id, matching the kernel's layout order.
+ROUND_TABLES = (T0, T1, T2, T3)
+
+
+def table_entry_bytes(table_id: int, index: int) -> bytes:
+    """Raw 4 bytes of entry ``index`` of table ``table_id`` (0..4)."""
+    if table_id == LAST_ROUND_TABLE_ID:
+        entry = T4[index]
+    else:
+        entry = ROUND_TABLES[table_id][index]
+    return bytes(entry)

@@ -1,0 +1,82 @@
+"""Embedded AES-128 known-answer test vectors.
+
+Sources: FIPS-197 Appendix B/C and the NIST AESAVS known-answer tests. These
+anchor the substrate: if the reference cipher matches them and the T-table
+cipher matches the reference cipher, the lookup traces driving the whole
+evaluation are faithful to real AES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["KnownAnswer", "KNOWN_ANSWERS", "FIPS197_EXPANDED_KEY_FIRST_WORDS",
+           "SBOX_SPOT_CHECKS"]
+
+
+@dataclass(frozen=True)
+class KnownAnswer:
+    """One (key, plaintext, ciphertext) known-answer triple."""
+
+    name: str
+    key: bytes
+    plaintext: bytes
+    ciphertext: bytes
+
+
+KNOWN_ANSWERS: Tuple[KnownAnswer, ...] = (
+    KnownAnswer(
+        name="fips197-appendix-b",
+        key=bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+        plaintext=bytes.fromhex("3243f6a8885a308d313198a2e0370734"),
+        ciphertext=bytes.fromhex("3925841d02dc09fbdc118597196a0b32"),
+    ),
+    KnownAnswer(
+        name="fips197-appendix-c1",
+        key=bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+        plaintext=bytes.fromhex("00112233445566778899aabbccddeeff"),
+        ciphertext=bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ),
+    KnownAnswer(
+        name="aesavs-gfsbox-1",
+        key=bytes(16),
+        plaintext=bytes.fromhex("f34481ec3cc627bacd5dc3fb08f273e6"),
+        ciphertext=bytes.fromhex("0336763e966d92595a567cc9ce537f5e"),
+    ),
+    KnownAnswer(
+        name="aesavs-keysbox-1",
+        key=bytes.fromhex("10a58869d74be5a374cf867cfb473859"),
+        plaintext=bytes(16),
+        ciphertext=bytes.fromhex("6d251e6944b051e04eaa6fb4dbf78465"),
+    ),
+    KnownAnswer(
+        name="aesavs-vartxt-128",
+        key=bytes(16),
+        plaintext=bytes.fromhex("ffffffffffffffffffffffffffffffff"),
+        ciphertext=bytes.fromhex("3f5b8cc9ea855a0afa7347d23e8d664e"),
+    ),
+)
+
+#: First round-1 words of the FIPS-197 Appendix A expansion of
+#: 2b7e151628aed2a6abf7158809cf4f3c, as (round, word-index, value) triples.
+FIPS197_EXPANDED_KEY_FIRST_WORDS: Tuple[Tuple[int, int, int], ...] = (
+    (1, 0, 0xA0FAFE17),
+    (1, 1, 0x88542CB1),
+    (1, 2, 0x23A33939),
+    (1, 3, 0x2A6C7605),
+    (10, 0, 0xD014F9A8),
+    (10, 1, 0xC9EE2589),
+    (10, 2, 0xE13F0CC8),
+    (10, 3, 0xB6630CA6),
+)
+
+#: Classic S-box spot values (FIPS-197 figure 7).
+SBOX_SPOT_CHECKS: Tuple[Tuple[int, int], ...] = (
+    (0x00, 0x63),
+    (0x01, 0x7C),
+    (0x53, 0xED),
+    (0x10, 0xCA),
+    (0xFF, 0x16),
+    (0x9A, 0xB8),
+)

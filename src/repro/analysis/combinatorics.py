@@ -1,0 +1,140 @@
+"""Exact combinatorics for the security model.
+
+Everything returns :class:`fractions.Fraction` (or Python ints) so Table II
+is computed without floating-point error; callers convert at the edge.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from functools import lru_cache
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "binomial",
+    "stirling2",
+    "num_compositions",
+    "composition_part_pmf",
+    "composition_pair_pmf",
+    "multinomial_single_pmf",
+    "multinomial_pair_pmf",
+    "iter_compositions",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """C(n, k); zero outside the valid range (handy in the closed forms)."""
+    if k < 0 or n < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind: partitions of n items into k
+    non-empty subsets. Recurrence S(n,k) = k*S(n-1,k) + S(n-1,k-1)."""
+    if n < 0 or k < 0:
+        raise AnalysisError(f"Stirling numbers need n,k >= 0: ({n},{k})")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def num_compositions(total: int, parts: int) -> int:
+    """Number of compositions of ``total`` into ``parts`` positive parts."""
+    if parts <= 0 or total < parts:
+        return 0
+    return binomial(total - 1, parts - 1)
+
+
+def composition_part_pmf(total: int, parts: int) -> Dict[int, Fraction]:
+    """Marginal of one part of a uniform composition (RSS skewed sizes).
+
+    ``P(w1 = k) = C(total-k-1, parts-2) / C(total-1, parts-1)`` for
+    ``1 <= k <= total-parts+1``; degenerate at ``total`` when parts == 1.
+    """
+    if parts <= 0 or total < parts:
+        raise AnalysisError(
+            f"no compositions of {total} into {parts} positive parts"
+        )
+    if parts == 1:
+        return {total: Fraction(1)}
+    denom = binomial(total - 1, parts - 1)
+    pmf = {}
+    for k in range(1, total - parts + 2):
+        numer = binomial(total - k - 1, parts - 2)
+        if numer:
+            pmf[k] = Fraction(numer, denom)
+    return pmf
+
+
+def composition_pair_pmf(total: int, parts: int
+                         ) -> Dict[Tuple[int, int], Fraction]:
+    """Joint marginal of two distinct parts of a uniform composition.
+
+    ``P(w1=a, w2=b) = C(total-a-b-1, parts-3) / C(total-1, parts-1)`` for
+    parts >= 3; for parts == 2 the second part is determined.
+    """
+    if parts < 2 or total < parts:
+        raise AnalysisError(
+            f"pair marginal needs >= 2 parts of a valid composition: "
+            f"({total}, {parts})"
+        )
+    denom = binomial(total - 1, parts - 1)
+    pmf: Dict[Tuple[int, int], Fraction] = {}
+    if parts == 2:
+        for a in range(1, total):
+            pmf[(a, total - a)] = Fraction(1, denom)
+        return pmf
+    for a in range(1, total - parts + 2):
+        for b in range(1, total - parts + 2 - (a - 1)):
+            numer = binomial(total - a - b - 1, parts - 3)
+            if numer:
+                pmf[(a, b)] = Fraction(numer, denom)
+    return pmf
+
+
+def multinomial_single_pmf(n: int, r: int) -> Dict[int, Fraction]:
+    """Binomial(n, 1/r): marginal frequency of one of r equally likely
+    memory blocks over n thread accesses."""
+    if n < 0 or r <= 0:
+        raise AnalysisError(f"invalid multinomial parameters ({n}, {r})")
+    pmf = {}
+    for a in range(n + 1):
+        pmf[a] = Fraction(binomial(n, a) * (r - 1) ** (n - a), r ** n)
+    return pmf
+
+
+def multinomial_pair_pmf(n: int, r: int) -> Dict[Tuple[int, int], Fraction]:
+    """Joint frequency of two distinct blocks under Multinomial(n; 1/r,...).
+
+    ``P(f1=a, f2=b) = n!/(a! b! (n-a-b)!) * (r-2)^(n-a-b) / r^n``.
+    """
+    if n < 0 or r < 2:
+        raise AnalysisError(f"pair marginal needs r >= 2: ({n}, {r})")
+    pmf: Dict[Tuple[int, int], Fraction] = {}
+    for a in range(n + 1):
+        for b in range(n - a + 1):
+            count = (math.factorial(n)
+                     // (math.factorial(a) * math.factorial(b)
+                         * math.factorial(n - a - b)))
+            pmf[(a, b)] = Fraction(count * (r - 2) ** (n - a - b), r ** n)
+    return pmf
+
+
+def iter_compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """Enumerate all compositions (for tests on small cases only)."""
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in iter_compositions(total - first, parts - 1):
+            yield (first,) + rest

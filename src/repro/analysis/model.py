@@ -1,0 +1,192 @@
+"""Closed-form rho for FSS, FSS+RTS, and RSS+RTS (Section V-B).
+
+The attack correlation is
+
+    rho = ( E[U * U_hat] - E[U]^2 ) / Var[U]
+
+with ``U`` the victim's last-round coalesced accesses and ``U_hat`` the
+corresponding attacker's estimate (identically distributed, Section V-A).
+
+Marginalization strategy (replacing the paper's infeasible frequency-vector
+sums): with RTS the conditional mean ``E[U | F]`` is a sum over memory
+blocks of a function of that block's frequency alone —
+
+* FSS+RTS: ``g(f) = sum_j (1 - C(S - c_j, f) / C(S, f))`` with fixed
+  subwarp capacities ``c_j`` (Definition 3);
+* RSS+RTS: ``h(f) = M * E_k[1 - C(S - k, f) / C(S, f)]`` where ``k`` is one
+  part of a uniform composition (its marginal is in closed form) —
+
+so ``E[(sum_i g(f_i))^2]`` needs only the single and pairwise multinomial
+frequency marginals:
+
+    E[(sum g)^2] = R E[g(f1)^2] + R (R-1) E[g(f1) g(f2)].
+
+All arithmetic is exact (fractions); results match Table II to the paper's
+printed precision.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.analysis.combinatorics import (
+    binomial,
+    composition_pair_pmf,
+    composition_part_pmf,
+    multinomial_pair_pmf,
+    multinomial_single_pmf,
+)
+from repro.analysis.occupancy import (
+    occupancy_mean,
+    occupancy_second_moment,
+    occupancy_variance,
+)
+from repro.core.sizing import fixed_sizes
+from repro.errors import AnalysisError
+
+__all__ = ["rho_fss", "rho_fss_rts", "rho_rss_rts"]
+
+
+def _check(num_threads: int, num_blocks: int, num_subwarps: int) -> None:
+    if num_threads <= 0 or num_blocks <= 0:
+        raise AnalysisError("N and R must be positive")
+    if not 1 <= num_subwarps <= num_threads:
+        raise AnalysisError(
+            f"M must be in [1, {num_threads}]: {num_subwarps}"
+        )
+
+
+def _empty_probability(capacity_removed: int, frequency: int,
+                       total: int) -> Fraction:
+    """P(a subwarp of capacity c sees none of a block's f accesses):
+    C(total - c, f) / C(total, f)."""
+    denom = binomial(total, frequency)
+    if denom == 0:
+        raise AnalysisError("frequency exceeds total slots")
+    return Fraction(binomial(capacity_removed, frequency), denom)
+
+
+def rho_fss(num_threads: int, num_blocks: int, num_subwarps: int) -> Fraction:
+    """FSS under the FSS attack (Algorithm 1): the attacker reproduces the
+    deterministic partition exactly, so rho is 1 — except at M = N where the
+    access count is constant and the correlation collapses to 0."""
+    _check(num_threads, num_blocks, num_subwarps)
+    if num_subwarps == num_threads:
+        return Fraction(0)
+    return Fraction(1)
+
+
+def _mean_sum_squared(per_block: Callable[[int], Fraction],
+                      num_threads: int, num_blocks: int) -> Fraction:
+    """E[(sum_i fn(f_i))^2] under F ~ Multinomial(N; 1/R ... 1/R)."""
+    single = multinomial_single_pmf(num_threads, num_blocks)
+    values: Dict[int, Fraction] = {f: per_block(f) for f in single}
+
+    second = sum((p * values[f] * values[f] for f, p in single.items()),
+                 Fraction(0))
+    if num_blocks == 1:
+        return second
+
+    pair = multinomial_pair_pmf(num_threads, num_blocks)
+    cross = sum((p * values[a] * values[b]
+                 for (a, b), p in pair.items()), Fraction(0))
+    return (Fraction(num_blocks) * second
+            + Fraction(num_blocks * (num_blocks - 1)) * cross)
+
+
+def rho_fss_rts(num_threads: int, num_blocks: int,
+                num_subwarps: int) -> Fraction:
+    """FSS+RTS under the mimicking FSS+RTS attack (Section V-B2)."""
+    _check(num_threads, num_blocks, num_subwarps)
+    n, r, m = num_threads, num_blocks, num_subwarps
+    if m == n:
+        return Fraction(0)
+
+    subwarp_size = n // m
+    if n % m != 0:
+        sizes: Tuple[int, ...] = fixed_sizes(n, m)
+    else:
+        sizes = (subwarp_size,) * m
+
+    mean_u = sum((occupancy_mean(size, r) for size in sizes), Fraction(0))
+    var_u = sum((occupancy_variance(size, r) for size in sizes), Fraction(0))
+    if var_u == 0:
+        return Fraction(0)
+
+    def g(frequency: int) -> Fraction:
+        if frequency == 0:
+            return Fraction(0)
+        return sum(
+            (1 - _empty_probability(n - size, frequency, n)
+             for size in sizes),
+            Fraction(0),
+        )
+
+    mean_u_uhat = _mean_sum_squared(g, n, r)
+    return (mean_u_uhat - mean_u * mean_u) / var_u
+
+
+@lru_cache(maxsize=None)
+def _rss_building_blocks(num_threads: int, num_blocks: int,
+                         num_subwarps: int):
+    """Shared terms of the RSS+RTS closed form, cached per (N, R, M)."""
+    n, r, m = num_threads, num_blocks, num_subwarps
+    part = composition_part_pmf(n, m)
+    mean_by_size = {k: occupancy_mean(k, r) for k in part}
+    second_by_size = {k: occupancy_second_moment(k, r) for k in part}
+    return part, mean_by_size, second_by_size
+
+
+def rho_rss_rts(num_threads: int, num_blocks: int,
+                num_subwarps: int) -> Fraction:
+    """RSS+RTS under the mimicking RSS+RTS attack (Section V-B3)."""
+    _check(num_threads, num_blocks, num_subwarps)
+    n, r, m = num_threads, num_blocks, num_subwarps
+    if m == n:
+        # Every composition is (1, ..., 1): U is constant.
+        return Fraction(0)
+
+    part, mean_by_size, second_by_size = _rss_building_blocks(n, r, m)
+
+    # E[U] = M * E_k[ mu(N_{k,R}) ]
+    mean_u = Fraction(m) * sum(
+        (p * mean_by_size[k] for k, p in part.items()), Fraction(0)
+    )
+
+    # E[U^2] = E_W[ sum_i var_i + (sum_i mu_i)^2 ]
+    ev_var = Fraction(m) * sum(
+        (p * (second_by_size[k] - mean_by_size[k] ** 2)
+         for k, p in part.items()),
+        Fraction(0),
+    )
+    ev_mu_sq_diag = Fraction(m) * sum(
+        (p * mean_by_size[k] ** 2 for k, p in part.items()), Fraction(0)
+    )
+    if m >= 2:
+        pair = composition_pair_pmf(n, m)
+        ev_mu_sq_cross = Fraction(m * (m - 1)) * sum(
+            (p * mean_by_size[a] * mean_by_size[b]
+             for (a, b), p in pair.items()),
+            Fraction(0),
+        )
+    else:
+        ev_mu_sq_cross = Fraction(0)
+    mean_u2 = ev_var + ev_mu_sq_diag + ev_mu_sq_cross
+    var_u = mean_u2 - mean_u * mean_u
+    if var_u == 0:
+        return Fraction(0)
+
+    # h(f) = M * E_k[ 1 - C(N-k, f)/C(N, f) ]
+    def h(frequency: int) -> Fraction:
+        if frequency == 0:
+            return Fraction(0)
+        return Fraction(m) * sum(
+            (p * (1 - _empty_probability(n - k, frequency, n))
+             for k, p in part.items()),
+            Fraction(0),
+        )
+
+    mean_u_uhat = _mean_sum_squared(h, n, r)
+    return (mean_u_uhat - mean_u * mean_u) / var_u

@@ -1,0 +1,86 @@
+"""Monte-Carlo estimation of the attack correlation rho.
+
+Validates the closed forms of :mod:`repro.analysis.model` and covers
+configurations the paper leaves analytically open (standalone RSS, non-
+power-of-two M, partial warps). Per sample:
+
+1. draw a uniform thread→block assignment (random plaintext model: each of
+   N threads hits one of R memory blocks with probability 1/R);
+2. the **victim** draws a partition from the defense policy and counts
+   distinct (subwarp, block) pairs → U;
+3. the **attacker**, knowing the thread→block assignment (correct key
+   guess) but not the victim's private draw, draws their own partition from
+   the same policy → U_hat;
+
+then rho is the sample Pearson correlation of U and U_hat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attack.correlation import pearson
+from repro.core.policies import CoalescingPolicy
+from repro.errors import AnalysisError
+from repro.rng import RngStream
+
+__all__ = ["empirical_rho", "empirical_access_moments"]
+
+
+def _count(blocks: np.ndarray, assignment) -> int:
+    return len({(sid, int(block))
+                for sid, block in zip(assignment, blocks)})
+
+
+def empirical_rho(
+    policy: CoalescingPolicy,
+    num_blocks: int,
+    num_samples: int,
+    rng: RngStream,
+    attacker_policy: Optional[CoalescingPolicy] = None,
+) -> float:
+    """Monte-Carlo rho between victim counts and attacker estimates.
+
+    ``attacker_policy`` defaults to the same mechanism (the paper's
+    corresponding attack); pass a different one to model a mismatched
+    attacker (e.g. the baseline attack against an FSS machine).
+    """
+    if num_samples < 2:
+        raise AnalysisError("need at least two samples for a correlation")
+    attacker_policy = attacker_policy or policy
+    victim_rng = rng.child("mc-victim")
+    attacker_rng = rng.child("mc-attacker")
+    block_rng = rng.child("mc-blocks")
+
+    n = policy.warp_size
+    us = np.empty(num_samples)
+    u_hats = np.empty(num_samples)
+    for i in range(num_samples):
+        blocks = block_rng.integers(0, num_blocks, size=n)
+        victim = policy.draw(victim_rng)
+        attacker = attacker_policy.draw(attacker_rng)
+        us[i] = _count(blocks, victim.assignment)
+        u_hats[i] = _count(blocks, attacker.assignment)
+    return pearson(us, u_hats)
+
+
+def empirical_access_moments(
+    policy: CoalescingPolicy,
+    num_blocks: int,
+    num_samples: int,
+    rng: RngStream,
+):
+    """Monte-Carlo (mean, variance) of the per-warp access count U."""
+    if num_samples < 2:
+        raise AnalysisError("need at least two samples for moments")
+    victim_rng = rng.child("mc-victim")
+    block_rng = rng.child("mc-blocks")
+    n = policy.warp_size
+    us = np.empty(num_samples)
+    for i in range(num_samples):
+        blocks = block_rng.integers(0, num_blocks, size=n)
+        victim = policy.draw(victim_rng)
+        us[i] = _count(blocks, victim.assignment)
+    return float(us.mean()), float(us.var(ddof=1))

@@ -1,0 +1,65 @@
+"""Definition 1: the coalesced-access (occupancy) distribution.
+
+``N_{m,n}`` — the number of coalesced accesses when each of ``m`` threads
+uniformly accesses one of ``n`` memory blocks — is the classic occupancy
+count of non-empty bins:
+
+    P(N_{m,n} = i) = n!/(n-i)! * S2(m, i) / n^m
+
+(The paper's ``n^N`` in Definition 1 is a typo for ``n^m``.) Moments are
+computed exactly from the pmf; the closed-form mean
+``n * (1 - (1 - 1/n)^m)`` is used as a consistency check in tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Dict
+
+from repro.analysis.combinatorics import stirling2
+from repro.errors import AnalysisError
+
+__all__ = ["occupancy_pmf", "occupancy_mean", "occupancy_variance",
+           "occupancy_second_moment", "occupancy_mean_closed_form"]
+
+
+@lru_cache(maxsize=None)
+def _pmf_cached(m: int, n: int):
+    total = Fraction(n) ** m
+    pmf = {}
+    falling = 1  # n! / (n-i)! built incrementally
+    for i in range(1, min(m, n) + 1):
+        falling *= n - (i - 1)
+        pmf[i] = Fraction(falling * stirling2(m, i)) / total
+    return pmf
+
+
+def occupancy_pmf(m: int, n: int) -> Dict[int, Fraction]:
+    """Exact pmf of N_{m,n} over i = 1..min(m, n)."""
+    if m <= 0 or n <= 0:
+        raise AnalysisError(f"occupancy needs positive (m, n): ({m}, {n})")
+    return dict(_pmf_cached(m, n))
+
+
+def occupancy_mean(m: int, n: int) -> Fraction:
+    """E[N_{m,n}] from the exact pmf."""
+    return sum((Fraction(i) * p for i, p in occupancy_pmf(m, n).items()),
+               Fraction(0))
+
+
+def occupancy_second_moment(m: int, n: int) -> Fraction:
+    """E[N_{m,n}^2] from the exact pmf."""
+    return sum((Fraction(i * i) * p for i, p in occupancy_pmf(m, n).items()),
+               Fraction(0))
+
+
+def occupancy_variance(m: int, n: int) -> Fraction:
+    """Var[N_{m,n}]."""
+    mean = occupancy_mean(m, n)
+    return occupancy_second_moment(m, n) - mean * mean
+
+
+def occupancy_mean_closed_form(m: int, n: int) -> Fraction:
+    """The standard closed form n (1 - (1 - 1/n)^m), for cross-checking."""
+    return Fraction(n) * (1 - Fraction(n - 1, n) ** m)

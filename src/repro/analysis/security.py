@@ -1,0 +1,82 @@
+"""Table II: theoretical rho and normalized samples S per mechanism.
+
+``S`` is normalized to the FSS M=1 (baseline) case: since the number of
+samples needed scales as 1/rho^2 (Equation 4/5) and the baseline achieves
+rho = 1, the normalized S is simply ``1 / rho^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+from repro.analysis.model import rho_fss, rho_fss_rts, rho_rss_rts
+from repro.errors import AnalysisError
+
+__all__ = ["SecurityRow", "normalized_samples", "security_table",
+           "PAPER_TABLE2"]
+
+Number = Union[float, Fraction]
+
+
+def normalized_samples(rho: Number) -> float:
+    """Samples needed, normalized to the rho = 1 baseline: 1 / rho^2."""
+    rho_f = float(rho)
+    if not -1.0 <= rho_f <= 1.0:
+        raise AnalysisError(f"correlation out of range: {rho_f}")
+    if rho_f == 0.0:
+        return math.inf
+    return 1.0 / (rho_f * rho_f)
+
+
+@dataclass(frozen=True)
+class SecurityRow:
+    """One row of Table II (one value of M)."""
+
+    num_subwarps: int
+    rho_fss: float
+    rho_fss_rts: float
+    rho_rss_rts: float
+
+    @property
+    def s_fss(self) -> float:
+        return normalized_samples(self.rho_fss)
+
+    @property
+    def s_fss_rts(self) -> float:
+        return normalized_samples(self.rho_fss_rts)
+
+    @property
+    def s_rss_rts(self) -> float:
+        return normalized_samples(self.rho_rss_rts)
+
+
+def security_table(
+    num_threads: int = 32,
+    num_blocks: int = 16,
+    subwarp_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> List[SecurityRow]:
+    """Compute Table II for the given machine parameters."""
+    rows = []
+    for m in subwarp_counts:
+        rows.append(SecurityRow(
+            num_subwarps=m,
+            rho_fss=float(rho_fss(num_threads, num_blocks, m)),
+            rho_fss_rts=float(rho_fss_rts(num_threads, num_blocks, m)),
+            rho_rss_rts=float(rho_rss_rts(num_threads, num_blocks, m)),
+        ))
+    return rows
+
+
+#: The values printed in the paper's Table II (rho to 2 decimals, S as
+#: printed), used by tests and the benchmark report for comparison.
+PAPER_TABLE2 = {
+    1: {"rho": (1.00, 1.00, 1.00), "s": (1, 1, 1)},
+    2: {"rho": (1.00, 0.41, 0.20), "s": (1, 6, 25)},
+    4: {"rho": (1.00, 0.20, 0.15), "s": (1, 24, 42)},
+    8: {"rho": (1.00, 0.09, 0.11), "s": (1, 115, 78)},
+    16: {"rho": (1.00, 0.03, 0.05), "s": (1, 961, 349)},
+    32: {"rho": (0.00, 0.00, 0.00), "s": (math.inf, math.inf, math.inf)},
+}

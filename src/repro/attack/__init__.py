@@ -1,0 +1,51 @@
+"""Correlation timing attacks on the (defended) GPU AES server.
+
+The package implements the paper's attack family:
+
+* the **baseline attack** of Jiang et al. (Section II-C): model the machine
+  as one subwarp per warp, estimate last-round coalesced accesses per key
+  byte guess from ciphertexts, and correlate with measured timing;
+* the **FSS attack** (Algorithm 1): same, but the attacker knows
+  ``num_subwarps`` and sums per-subwarp access counts;
+* the **corresponding attacks** for the randomized defenses (Section IV-E):
+  the attacker knows the mechanism and *mimics* it — drawing their own RSS
+  sizes / RTS permutations — but cannot reproduce the victim's private draws.
+
+All of these are instances of one estimator,
+:class:`~repro.attack.estimator.AccessEstimator`, parameterized by the
+*attacker's model policy*; :class:`~repro.attack.recovery.CorrelationTimingAttack`
+turns estimates plus observations into per-byte correlations and key bytes.
+"""
+
+from repro.attack.correlation import pearson, rowwise_pearson
+from repro.attack.estimator import AccessEstimator
+from repro.attack.algorithm1 import fss_attack_last_round_accesses
+from repro.attack.recovery import (
+    ByteRecovery,
+    CorrelationTimingAttack,
+    KeyRecovery,
+)
+from repro.attack.infer import CalibrationProfile, SubwarpCountInferrer
+from repro.attack.noise import (
+    add_gaussian_noise,
+    correlation_attenuation,
+    sample_inflation,
+)
+from repro.attack.samples import samples_needed, samples_needed_exact
+
+__all__ = [
+    "pearson",
+    "rowwise_pearson",
+    "AccessEstimator",
+    "fss_attack_last_round_accesses",
+    "ByteRecovery",
+    "KeyRecovery",
+    "CorrelationTimingAttack",
+    "samples_needed",
+    "samples_needed_exact",
+    "SubwarpCountInferrer",
+    "CalibrationProfile",
+    "add_gaussian_noise",
+    "correlation_attenuation",
+    "sample_inflation",
+]

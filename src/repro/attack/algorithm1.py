@@ -1,0 +1,75 @@
+"""Algorithm 1 of the paper, implemented verbatim.
+
+The FSS attack's per-sample access computation: for a guessed value of the
+j-th last-round key byte and a known ``num_subwarps``, partition the
+plaintext lines into consecutive groups, histogram each group's memory
+blocks (``T4^-1[cipher ^ k] >> 4``), and sum the non-empty block counts over
+groups.
+
+This is kept as a faithful, loop-level transcription so the vectorized
+:class:`~repro.attack.estimator.AccessEstimator` (with an FSS model policy)
+can be property-tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aes.sbox import INV_SBOX
+from repro.aes.tables import NUM_TABLE_BLOCKS
+from repro.errors import ConfigurationError
+
+__all__ = ["fss_attack_last_round_accesses"]
+
+
+def fss_attack_last_round_accesses(
+    cipher_lines: Sequence[bytes],
+    byte_index: int,
+    guess: int,
+    num_subwarps: int,
+) -> int:
+    """Last-round coalesced accesses per Algorithm 1.
+
+    Parameters
+    ----------
+    cipher_lines:
+        The ciphertext lines of one plaintext sample (Algorithm 1's
+        ``cipher``; ``LEN = len(cipher_lines)``).
+    byte_index:
+        The targeted key byte ``j``.
+    guess:
+        The guessed key-byte value ``k_j``.
+    num_subwarps:
+        The (known or guessed) number of subwarps.
+    """
+    total_lines = len(cipher_lines)
+    if total_lines == 0:
+        raise ConfigurationError("Algorithm 1 needs at least one line")
+    if num_subwarps < 1 or num_subwarps > total_lines:
+        raise ConfigurationError(
+            f"num_subwarps must be in [1, {total_lines}]: {num_subwarps}"
+        )
+    if total_lines % num_subwarps != 0:
+        raise ConfigurationError(
+            "Algorithm 1 assumes num_subwarps divides the line count"
+        )
+    if not 0 <= guess < 256:
+        raise ConfigurationError(f"guess must be a byte value: {guess}")
+
+    mem_accesses_subwarp: List[int] = [0] * num_subwarps
+    lines_per_group = total_lines // num_subwarps
+
+    for grp in range(num_subwarps):
+        holder = [0] * NUM_TABLE_BLOCKS
+        for line in range(grp * lines_per_group, (grp + 1) * lines_per_group):
+            index = INV_SBOX[cipher_lines[line][byte_index] ^ guess]
+            holder[index >> 4] += 1
+        for block in range(NUM_TABLE_BLOCKS):
+            if holder[block] != 0:
+                mem_accesses_subwarp[grp] += 1
+
+    last_round_mem_accesses = 0
+    for grp in range(num_subwarps):
+        if mem_accesses_subwarp[grp] != 0:
+            last_round_mem_accesses += mem_accesses_subwarp[grp]
+    return last_round_mem_accesses

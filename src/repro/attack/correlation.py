@@ -1,0 +1,68 @@
+"""Pearson correlation utilities.
+
+The attack's decision statistic is the Pearson correlation between a
+guess's estimated access counts and the measured execution times across
+plaintext samples. Degenerate inputs (zero variance on either side —
+e.g. the M = 32 machine, where every sample generates exactly 32 accesses)
+are defined to have correlation 0, matching the paper's reading that the
+correlation "drops to 0".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientSamplesError
+
+__all__ = ["pearson", "rowwise_pearson"]
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation of two equal-length sample vectors."""
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise InsufficientSamplesError(
+            f"sample vectors differ in shape: {xs.shape} vs {ys.shape}"
+        )
+    if xs.size < 2:
+        raise InsufficientSamplesError(
+            f"need at least 2 samples, got {xs.size}"
+        )
+    xc = xs - xs.mean()
+    yc = ys - ys.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((xc * yc).sum() / denom)
+
+
+def rowwise_pearson(matrix: np.ndarray, y: Sequence[float]) -> np.ndarray:
+    """Pearson correlation of each matrix row against ``y``.
+
+    ``matrix`` has shape (guesses, samples); the result has shape
+    (guesses,). Rows (or ``y``) with zero variance yield correlation 0.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if m.ndim != 2:
+        raise InsufficientSamplesError("matrix must be 2-D (guesses x samples)")
+    if m.shape[1] != ys.shape[0]:
+        raise InsufficientSamplesError(
+            f"matrix has {m.shape[1]} samples but y has {ys.shape[0]}"
+        )
+    if m.shape[1] < 2:
+        raise InsufficientSamplesError(
+            f"need at least 2 samples, got {m.shape[1]}"
+        )
+    mc = m - m.mean(axis=1, keepdims=True)
+    yc = ys - ys.mean()
+    y_norm = np.sqrt((yc * yc).sum())
+    row_norms = np.sqrt((mc * mc).sum(axis=1))
+    denom = row_norms * y_norm
+    numer = mc @ yc
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom > 0, numer / np.where(denom == 0, 1, denom), 0.0)
+    return corr

@@ -1,0 +1,175 @@
+"""The attacker's coalesced-access estimator.
+
+This generalizes Fig 4's first step to every defense. For key byte ``j``
+and guess ``m``, the table-lookup index of each thread (line) is
+``t = InvSBox[c_j ^ m]`` (Equation 3) and its memory block is ``t >> 4``.
+The attacker then *models the machine* to turn per-thread blocks into an
+access count: threads are grouped per warp into subwarps according to the
+attacker's **model policy** — exactly one subwarp for the baseline attack,
+the known in-order partition for the FSS attack, or freshly drawn
+RSS-sizes/RTS-permutations for the corresponding attacks of Section IV-E —
+and each subwarp contributes its number of distinct blocks.
+
+One model draw is made per plaintext sample per warp (mirroring the
+victim's per-launch draw) and shared across all 256 guesses and 16 byte
+positions: redrawing per guess would only add attacker-side noise without
+information.
+
+The hot path is fully vectorized: for each guess the (sample, group, block)
+triples are packed into integers and counted per sample via one
+``np.unique``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.aes.sbox import INV_SBOX
+from repro.aes.tables import ENTRIES_PER_BLOCK, NUM_TABLE_BLOCKS
+from repro.core.policies import CoalescingPolicy
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+__all__ = ["AccessEstimator"]
+
+_INV_SBOX_ARR = np.array(INV_SBOX, dtype=np.uint8)
+_BLOCK_SHIFT = ENTRIES_PER_BLOCK.bit_length() - 1  # 16 entries -> shift 4
+
+
+class AccessEstimator:
+    """Estimates last-round coalesced accesses for all key-byte guesses.
+
+    Parameters
+    ----------
+    model_policy:
+        The attacker's model of the machine's coalescing behaviour.
+    rng:
+        The *attacker's* random stream, used when the model policy is
+        randomized (RSS/RTS mimicry). Independent of the victim's stream.
+    warp_size:
+        Threads per warp.
+    """
+
+    def __init__(self, model_policy: CoalescingPolicy,
+                 rng: Optional[RngStream] = None, warp_size: int = 32):
+        if model_policy.is_randomized and rng is None:
+            raise ConfigurationError(
+                f"model policy {model_policy.describe()} is randomized; "
+                "the attacker needs their own RNG stream"
+            )
+        self.model_policy = model_policy
+        self.warp_size = warp_size
+        self._rng = rng
+        self._labels: Optional[np.ndarray] = None
+        self._num_samples = 0
+        self._num_lines = 0
+
+    # -- sample registration ----------------------------------------------
+
+    def prepare(self, ciphertexts: Sequence[Sequence[bytes]]) -> None:
+        """Fix the attacker's model draws for a batch of samples.
+
+        ``ciphertexts[n]`` is the list of 16-byte ciphertext lines of sample
+        ``n``. This precomputes one group label per (sample, line): the
+        label encodes (sample, warp, modelled subwarp id) so that distinct
+        (label, block) pairs are exactly the modelled coalesced accesses.
+        """
+        if not ciphertexts:
+            raise ConfigurationError("no samples to prepare")
+        num_lines = len(ciphertexts[0])
+        if num_lines == 0:
+            raise ConfigurationError("samples must contain at least one line")
+        if any(len(sample) != num_lines for sample in ciphertexts):
+            raise ConfigurationError("samples must all have the same length")
+
+        num_warps = (num_lines + self.warp_size - 1) // self.warp_size
+        group_stride = num_warps * self.warp_size  # >= warps * max subwarps
+        labels = np.empty((len(ciphertexts), num_lines), dtype=np.int64)
+        for n in range(len(ciphertexts)):
+            for w in range(num_warps):
+                partition = self.model_policy.draw(self._rng)
+                start = w * self.warp_size
+                stop = min(start + self.warp_size, num_lines)
+                for line in range(start, stop):
+                    sid = partition.assignment[line - start]
+                    labels[n, line] = (
+                        n * group_stride + w * self.warp_size + sid
+                    )
+        self._labels = labels
+        self._num_samples = len(ciphertexts)
+        self._num_lines = num_lines
+        self._group_stride = group_stride
+
+    def reset(self) -> None:
+        """Forget the prepared batch (e.g. before attacking a new or
+        truncated sample set). Randomized models will draw fresh
+        partitions on the next :meth:`prepare`."""
+        self._labels = None
+        self._num_samples = 0
+        self._num_lines = 0
+
+    # -- estimation -----------------------------------------------------------
+
+    def access_matrix(self, ciphertexts: Sequence[Sequence[bytes]],
+                      byte_index: int) -> np.ndarray:
+        """Fig 4b's memory access matrix for one key byte.
+
+        Returns an array of shape (256, num_samples): entry ``[m, n]`` is
+        the modelled number of last-round coalesced accesses that byte
+        ``byte_index``'s T4 load generates for sample ``n`` if the key byte
+        were ``m``. Call :meth:`prepare` first (or this method will, using
+        the given ciphertexts).
+        """
+        if not 0 <= byte_index < 16:
+            raise ConfigurationError(
+                f"key byte index must be in [0, 16): {byte_index}"
+            )
+        if self._labels is None:
+            self.prepare(ciphertexts)
+        assert self._labels is not None
+        if (len(ciphertexts) != self._num_samples
+                or len(ciphertexts[0]) != self._num_lines):
+            raise ConfigurationError(
+                "ciphertexts do not match the prepared batch; call prepare()"
+            )
+
+        cipher_bytes = np.empty((self._num_samples, self._num_lines),
+                                dtype=np.uint8)
+        for n, sample in enumerate(ciphertexts):
+            for line, block in enumerate(sample):
+                cipher_bytes[n, line] = block[byte_index]
+
+        matrix = np.empty((256, self._num_samples), dtype=np.int32)
+        scaled_labels = self._labels * NUM_TABLE_BLOCKS
+        sample_stride = self._group_stride * NUM_TABLE_BLOCKS
+        for guess in range(256):
+            indices = _INV_SBOX_ARR[cipher_bytes ^ np.uint8(guess)]
+            blocks = (indices >> _BLOCK_SHIFT).astype(np.int64)
+            combined = scaled_labels + blocks
+            unique = np.unique(combined)
+            matrix[guess] = np.bincount(unique // sample_stride,
+                                        minlength=self._num_samples)
+        return matrix
+
+    def estimate_sample(self, cipher_lines: Sequence[bytes], byte_index: int,
+                        guess: int) -> int:
+        """Single-sample, single-guess estimate (reference path for tests).
+
+        Draws a fresh model partition per warp, so randomized model
+        policies give an *independent* estimate here; use
+        :meth:`access_matrix` for batch attacks.
+        """
+        num_lines = len(cipher_lines)
+        accesses = 0
+        for start in range(0, num_lines, self.warp_size):
+            warp_lines = cipher_lines[start:start + self.warp_size]
+            partition = self.model_policy.draw(self._rng)
+            seen = set()
+            for tid, line in enumerate(warp_lines):
+                index = INV_SBOX[line[byte_index] ^ guess]
+                seen.add((partition.assignment[tid],
+                          index >> _BLOCK_SHIFT))
+            accesses += len(seen)
+        return accesses

@@ -1,0 +1,104 @@
+"""Inferring the machine's num-subwarps from execution time.
+
+The FSS attack (Section IV-A) presumes the attacker can learn the secret
+``num_subwarps``: "the calculation can be done based on the significant
+execution time differences across num-subwarp values (Fig 7)... by
+repeatedly measuring the execution time for encryption of a plaintext, an
+attacker can determine which num-subwarp is used by the remote GPU server."
+
+:class:`SubwarpCountInferrer` implements exactly that: a calibration phase
+profiles the expected mean execution time per candidate M (on the
+attacker's own replica — here, the simulator with a *different* key, since
+mean time over random plaintexts is key-independent), and classification
+assigns an observed timing sample set to the nearest calibrated mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import make_policy
+from repro.errors import AttackError, ConfigurationError
+from repro.gpu.config import GPUConfig
+from repro.rng import RngStream
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+__all__ = ["CalibrationProfile", "SubwarpCountInferrer"]
+
+
+@dataclass(frozen=True)
+class CalibrationProfile:
+    """Mean execution time per candidate num-subwarps value."""
+
+    mechanism: str
+    mean_time: Dict[int, float]
+
+    def classify(self, observed_times: Sequence[float]) -> int:
+        """The candidate M whose calibrated mean is nearest the
+        observed mean time."""
+        if len(observed_times) == 0:
+            raise AttackError("need at least one timing observation")
+        observed = float(np.mean(observed_times))
+        return min(self.mean_time,
+                   key=lambda m: abs(self.mean_time[m] - observed))
+
+    def margin(self, observed_times: Sequence[float]) -> float:
+        """Distance gap between the best and second-best candidate,
+        normalized by the best candidate's mean (confidence proxy)."""
+        observed = float(np.mean(observed_times))
+        distances = sorted(abs(mean - observed)
+                           for mean in self.mean_time.values())
+        if len(distances) < 2:
+            return float("inf")
+        best = min(self.mean_time.values())
+        return (distances[1] - distances[0]) / best
+
+
+class SubwarpCountInferrer:
+    """Calibrate-and-classify estimation of a victim's num-subwarps.
+
+    Parameters
+    ----------
+    mechanism:
+        The defense family the attacker assumes ("fss", "rss", ...). Mean
+        time separates M values for all of them (Fig 16).
+    candidates:
+        The M values to calibrate.
+    config:
+        GPU configuration of the attacker's replica.
+    """
+
+    def __init__(self, mechanism: str = "fss",
+                 candidates: Sequence[int] = (1, 2, 4, 8, 16, 32),
+                 config: Optional[GPUConfig] = None):
+        if not candidates:
+            raise ConfigurationError("need at least one candidate M")
+        self.mechanism = mechanism
+        self.candidates = tuple(candidates)
+        self.config = config
+
+    def calibrate(self, rng: RngStream, samples: int = 10,
+                  lines: int = 32) -> CalibrationProfile:
+        """Profile the attacker's replica for each candidate M.
+
+        The attacker does not know the victim's key; mean execution time
+        over random plaintexts is key-independent, so any key works.
+        """
+        key = bytes(rng.child("calibration-key").random_bytes(16))
+        plaintexts = random_plaintexts(samples, lines,
+                                       rng.child("calibration-pt"))
+        means: Dict[int, float] = {}
+        for m in self.candidates:
+            policy = make_policy(self.mechanism, m)
+            server = EncryptionServer(
+                key, policy, config=self.config,
+                rng=rng.child(f"calibration-{m}")
+                if policy.is_randomized else None,
+            )
+            records = server.encrypt_batch(plaintexts)
+            means[m] = float(np.mean([r.total_time for r in records]))
+        return CalibrationProfile(self.mechanism, means)

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Usage::
+
+    rcoal list                     # show available experiments
+    rcoal fig06                    # regenerate Fig 6
+    rcoal fig15 --samples 40       # smaller run
+    rcoal all                      # regenerate everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal",
+        description="RCoal (HPCA 2018) reproduction: regenerate paper "
+                    "tables and figures on the simulated GPU.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig06, table2), 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="root experiment seed (default 2018)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override plaintext sample count")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the result rows as CSV "
+                             "(experiment id is appended for 'all')")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the result as JSON")
+    parser.add_argument("--chart", type=int, metavar="COLUMN", default=None,
+                        help="also render column COLUMN (1-based after the "
+                             "x column) as an ASCII bar chart")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples)
+
+    multiple = len(ids) > 1
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, ctx)
+        print(result.render())
+        if args.chart is not None:
+            from repro.experiments.charts import result_chart
+            print()
+            print(result_chart(result, column=args.chart))
+        print(f"[{experiment_id} completed in {time.time() - start:.1f}s]")
+        print()
+        if args.csv:
+            from repro.experiments.export import write_csv
+            target = (f"{args.csv}.{experiment_id}.csv" if multiple
+                      else args.csv)
+            print(f"[csv written to {write_csv(result, target)}]")
+        if args.json:
+            from repro.experiments.export import write_json
+            target = (f"{args.json}.{experiment_id}.json" if multiple
+                      else args.json)
+            print(f"[json written to {write_json(result, target)}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""RCoal — the paper's contribution: randomized subwarp coalescing.
+
+Three composable randomization axes (Section IV):
+
+* **FSS** (fixed-sized subwarps) — coalesce in M equal groups, M secret;
+* **RSS** (random-sized subwarps) — per-launch random group sizes, drawn
+  from the skewed distribution (uniform over all compositions of the warp
+  into M non-empty parts) or the normal variant of Fig 9;
+* **RTS** (random-threaded subwarps) — random thread→subwarp assignment,
+  composable with either sizing scheme.
+
+A :class:`~repro.core.policies.CoalescingPolicy` turns an axis combination
+into the per-thread subwarp-id map the hardware (Fig 11) loads at kernel
+launch; :class:`~repro.core.rcoal.RCoalGPU` wires a policy into the GPU
+simulator. :func:`~repro.core.score.rcoal_score` implements the paper's
+security/performance trade-off metric (Equation 7).
+"""
+
+from repro.core.assignment import in_order_assignment, random_assignment
+from repro.core.policies import (
+    BaselinePolicy,
+    CoalescingPolicy,
+    FSSPolicy,
+    NoCoalescingPolicy,
+    RSSPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.core.rcoal import RCoalGPU
+from repro.core.score import rcoal_score, security_strength
+from repro.core.selective import SelectivePartition, SelectiveRCoalPolicy
+from repro.core.sizing import fixed_sizes, normal_sizes, skewed_sizes
+from repro.core.subwarp import SubwarpPartition
+
+__all__ = [
+    "SubwarpPartition",
+    "fixed_sizes",
+    "skewed_sizes",
+    "normal_sizes",
+    "in_order_assignment",
+    "random_assignment",
+    "CoalescingPolicy",
+    "BaselinePolicy",
+    "NoCoalescingPolicy",
+    "FSSPolicy",
+    "RSSPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "RCoalGPU",
+    "rcoal_score",
+    "security_strength",
+    "SelectiveRCoalPolicy",
+    "SelectivePartition",
+]

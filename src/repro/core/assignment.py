@@ -1,0 +1,38 @@
+"""Thread→subwarp assignment schemes (Section IV-C).
+
+Given subwarp sizes, an assignment decides *which* threads land in each
+subwarp:
+
+* :func:`in_order_assignment` — the hardware default: consecutive thread
+  blocks ("subwarp-ids are allotted in order", Section IV-D);
+* :func:`random_assignment` — RTS: a uniformly random permutation of threads
+  over the subwarp slots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.subwarp import SubwarpPartition
+from repro.rng import RngStream
+
+__all__ = ["in_order_assignment", "random_assignment"]
+
+
+def in_order_assignment(sizes: Sequence[int]) -> SubwarpPartition:
+    """Consecutive threads fill subwarp 0, then subwarp 1, and so on."""
+    assignment: List[int] = []
+    for sid, size in enumerate(sizes):
+        assignment.extend([sid] * size)
+    return SubwarpPartition(sizes=tuple(sizes), assignment=tuple(assignment))
+
+
+def random_assignment(sizes: Sequence[int], rng: RngStream
+                      ) -> SubwarpPartition:
+    """RTS: threads are shuffled uniformly over the subwarp slots."""
+    ordered = in_order_assignment(sizes)
+    permutation = rng.permutation(ordered.warp_size)
+    assignment = [0] * ordered.warp_size
+    for slot, tid in enumerate(permutation):
+        assignment[int(tid)] = ordered.assignment[slot]
+    return SubwarpPartition(sizes=tuple(sizes), assignment=tuple(assignment))

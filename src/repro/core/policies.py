@@ -1,0 +1,194 @@
+"""Coalescing policies: the six machine configurations of the paper.
+
+A policy encapsulates one choice along the RCoal design axes and produces,
+per warp per kernel launch, the :class:`~repro.core.subwarp.SubwarpPartition`
+that the hardware loads into its PRT sid fields:
+
+====================  ===========================  =======================
+name                  sizing                       assignment
+====================  ===========================  =======================
+``baseline``          one subwarp (M = 1)          in order
+``nocoal``            one subwarp per thread       in order
+``fss``               M equal groups               in order
+``fss_rts``           M equal groups               random (RTS)
+``rss``               random composition (skewed)  in order
+``rss_rts``           random composition (skewed)  random (RTS)
+====================  ===========================  =======================
+
+Randomized policies draw fresh sizes/assignments per launch — the paper's
+"set at the beginning of the application execution" — from the RNG stream
+passed in by the caller, which the encryption server keeps separate from any
+attacker stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+from repro.core.assignment import in_order_assignment, random_assignment
+from repro.core.sizing import fixed_sizes, normal_sizes, skewed_sizes
+from repro.core.subwarp import SubwarpPartition
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+__all__ = [
+    "CoalescingPolicy",
+    "BaselinePolicy",
+    "NoCoalescingPolicy",
+    "FSSPolicy",
+    "RSSPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class CoalescingPolicy(ABC):
+    """Produces per-launch subwarp partitions for warps."""
+
+    #: Short machine-readable policy name ("fss_rts", ...).
+    name: str = "abstract"
+
+    def __init__(self, num_subwarps: int, warp_size: int = 32):
+        if not 1 <= num_subwarps <= warp_size:
+            raise ConfigurationError(
+                f"num_subwarps must be in [1, {warp_size}]: {num_subwarps}"
+            )
+        self.num_subwarps = num_subwarps
+        self.warp_size = warp_size
+
+    @property
+    def is_randomized(self) -> bool:
+        """True when draws differ between launches (needs an RNG)."""
+        return True
+
+    @abstractmethod
+    def draw(self, rng: Optional[RngStream]) -> SubwarpPartition:
+        """Draw the partition used for one warp in one kernel launch."""
+
+    def sid_map(self, rng: Optional[RngStream]) -> Tuple[int, ...]:
+        """Convenience: the per-thread sid vector of a fresh draw."""
+        return self.draw(rng).assignment
+
+    def describe(self) -> str:
+        return f"{self.name}(M={self.num_subwarps})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class BaselinePolicy(CoalescingPolicy):
+    """The unprotected machine: the whole warp is one subwarp."""
+
+    name = "baseline"
+
+    def __init__(self, num_subwarps: int = 1, warp_size: int = 32):
+        if num_subwarps != 1:
+            raise ConfigurationError("the baseline has exactly one subwarp")
+        super().__init__(1, warp_size)
+
+    @property
+    def is_randomized(self) -> bool:
+        return False
+
+    def draw(self, rng: Optional[RngStream] = None) -> SubwarpPartition:
+        return SubwarpPartition.single(self.warp_size)
+
+
+class NoCoalescingPolicy(CoalescingPolicy):
+    """Coalescing disabled: every thread is its own subwarp (Section III)."""
+
+    name = "nocoal"
+
+    def __init__(self, num_subwarps: Optional[int] = None, warp_size: int = 32):
+        if num_subwarps is not None and num_subwarps != warp_size:
+            raise ConfigurationError(
+                "disabling coalescing means one subwarp per thread"
+            )
+        super().__init__(warp_size, warp_size)
+
+    @property
+    def is_randomized(self) -> bool:
+        return False
+
+    def draw(self, rng: Optional[RngStream] = None) -> SubwarpPartition:
+        return SubwarpPartition.per_thread(self.warp_size)
+
+
+class FSSPolicy(CoalescingPolicy):
+    """Fixed-sized subwarps, optionally with random threading (RTS)."""
+
+    def __init__(self, num_subwarps: int, warp_size: int = 32,
+                 rts: bool = False):
+        super().__init__(num_subwarps, warp_size)
+        self.rts = rts
+        self.name = "fss_rts" if rts else "fss"
+
+    @property
+    def is_randomized(self) -> bool:
+        return self.rts
+
+    def draw(self, rng: Optional[RngStream] = None) -> SubwarpPartition:
+        sizes = fixed_sizes(self.warp_size, self.num_subwarps)
+        if not self.rts:
+            return in_order_assignment(sizes)
+        if rng is None:
+            raise ConfigurationError("FSS+RTS draws require an RNG stream")
+        return random_assignment(sizes, rng)
+
+
+class RSSPolicy(CoalescingPolicy):
+    """Random-sized subwarps, optionally with random threading (RTS)."""
+
+    def __init__(self, num_subwarps: int, warp_size: int = 32,
+                 rts: bool = False, distribution: str = "skewed"):
+        super().__init__(num_subwarps, warp_size)
+        if distribution not in ("skewed", "normal"):
+            raise ConfigurationError(
+                f"unknown RSS size distribution: {distribution!r}"
+            )
+        self.rts = rts
+        self.distribution = distribution
+        self.name = "rss_rts" if rts else "rss"
+
+    def draw(self, rng: Optional[RngStream] = None) -> SubwarpPartition:
+        if rng is None:
+            raise ConfigurationError("RSS draws require an RNG stream")
+        if self.distribution == "skewed":
+            sizes = skewed_sizes(self.warp_size, self.num_subwarps, rng)
+        else:
+            sizes = normal_sizes(self.warp_size, self.num_subwarps, rng)
+        if self.rts:
+            return random_assignment(sizes, rng)
+        return in_order_assignment(sizes)
+
+    def describe(self) -> str:
+        return f"{self.name}(M={self.num_subwarps}, {self.distribution})"
+
+
+#: All policy names accepted by :func:`make_policy`, in paper order.
+POLICY_NAMES: Tuple[str, ...] = (
+    "baseline", "nocoal", "fss", "fss_rts", "rss", "rss_rts",
+)
+
+
+def make_policy(name: str, num_subwarps: int = 1, warp_size: int = 32,
+                **kwargs) -> CoalescingPolicy:
+    """Build a policy by name (see module docstring for the table)."""
+    factories: Dict[str, object] = {
+        "baseline": lambda: BaselinePolicy(warp_size=warp_size),
+        "nocoal": lambda: NoCoalescingPolicy(warp_size=warp_size),
+        "fss": lambda: FSSPolicy(num_subwarps, warp_size, rts=False),
+        "fss_rts": lambda: FSSPolicy(num_subwarps, warp_size, rts=True),
+        "rss": lambda: RSSPolicy(num_subwarps, warp_size, rts=False,
+                                 **kwargs),
+        "rss_rts": lambda: RSSPolicy(num_subwarps, warp_size, rts=True,
+                                     **kwargs),
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; expected one of {POLICY_NAMES}"
+        ) from None
+    return factory()  # type: ignore[operator]

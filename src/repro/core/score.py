@@ -1,0 +1,47 @@
+"""RCoal_Score: the security/performance trade-off metric (Equation 7).
+
+``RCoal_Score = S^a / execution_time^b`` where
+
+* ``S`` is the security strength — the square of the inverse of the average
+  attack correlation (proportional to the samples needed for a successful
+  attack, Equation 4);
+* ``execution_time`` is normalized to the baseline machine;
+* exponents ``a`` and ``b`` let a hardware engineer weight security vs
+  performance. The paper studies a security-oriented design (a=1, b=1) and a
+  performance-oriented design (a=1, b=20).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["security_strength", "rcoal_score"]
+
+
+def security_strength(average_correlation: float) -> float:
+    """S = 1 / rho^2 — proportional to samples needed for a key recovery.
+
+    A zero correlation means the attack never succeeds; ``inf`` is returned.
+    """
+    if not -1.0 <= average_correlation <= 1.0:
+        raise ConfigurationError(
+            f"correlation must lie in [-1, 1]: {average_correlation}"
+        )
+    if average_correlation == 0.0:
+        return math.inf
+    return 1.0 / (average_correlation ** 2)
+
+
+def rcoal_score(average_correlation: float, normalized_time: float,
+                a: float = 1.0, b: float = 1.0) -> float:
+    """Equation 7, from an attack correlation and a normalized exec time."""
+    if normalized_time <= 0:
+        raise ConfigurationError(
+            f"normalized execution time must be positive: {normalized_time}"
+        )
+    strength = security_strength(average_correlation)
+    if math.isinf(strength):
+        return math.inf
+    return (strength ** a) / (normalized_time ** b)

@@ -1,0 +1,19 @@
+"""Experiment harnesses: one module per paper table / figure.
+
+Each module exposes ``run(ctx) -> ExperimentResult`` regenerating the rows /
+series of the corresponding figure. ``repro.experiments.registry`` maps
+experiment ids ("fig06", "table2", ...) to runners;
+``python -m repro.cli <id>`` executes one from the command line and prints
+the ASCII rendering.
+"""
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

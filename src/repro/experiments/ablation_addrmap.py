@@ -1,0 +1,86 @@
+"""Ablation: does memory-hierarchy randomization stop the attack? (No.)
+
+Section VII's second future-work direction is randomization at other
+levels of the memory hierarchy. A natural first candidate — secretly
+permuting the chunk→partition and chunk→bank mappings, as hardware memory
+hashing would — does *not* touch the coalescing leak: the coalescer merges
+by block address before any mapping, so the access counts (and the time
+that tracks them) are unchanged. This experiment measures that negative
+result, which is the quantitative argument for the paper's choice to
+randomize the coalescing logic itself.
+"""
+
+from __future__ import annotations
+
+from repro.attack.estimator import AccessEstimator
+from repro.attack.recovery import CorrelationTimingAttack
+from repro.core.policies import make_policy
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.gpu.address import AddressMap, PermutedAddressMap
+from repro.gpu.config import GPUConfig
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+__all__ = ["run"]
+
+
+def _attack_with_map(ctx: ExperimentContext, address_map, num_samples: int):
+    server = EncryptionServer(ctx.secret_key(), make_policy("baseline"),
+                              config=ctx.config,
+                              address_map=address_map)
+    plaintexts = random_plaintexts(num_samples, ctx.lines,
+                                   ctx.stream("workload"))
+    records = server.encrypt_batch(plaintexts)
+    attack = CorrelationTimingAttack(
+        AccessEstimator(make_policy("baseline"))
+    )
+    recovery = attack.recover_key(
+        [r.ciphertext_lines for r in records],
+        [r.last_round_time for r in records],
+        correct_key=server.last_round_key,
+    )
+    accesses = [r.last_round_accesses for r in records]
+    return recovery, accesses
+
+
+def run(ctx: ExperimentContext = ExperimentContext()) -> ExperimentResult:
+    num_samples = ctx.sample_count(paper=100, fast=40)
+    config = ctx.config or GPUConfig()
+
+    plain_recovery, plain_accesses = _attack_with_map(
+        ctx, AddressMap(config), num_samples
+    )
+    permuted_map = PermutedAddressMap(config, ctx.stream("addrmap-secret"))
+    permuted_recovery, permuted_accesses = _attack_with_map(
+        ctx, permuted_map, num_samples
+    )
+
+    rows = [
+        ("avg correct-guess correlation",
+         plain_recovery.average_correct_correlation,
+         permuted_recovery.average_correct_correlation),
+        ("bytes recovered (of 16)",
+         plain_recovery.num_correct, permuted_recovery.num_correct),
+        ("avg rank of correct guess",
+         plain_recovery.average_rank, permuted_recovery.average_rank),
+        ("last-round accesses identical",
+         None, plain_accesses == permuted_accesses),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_addrmap",
+        title="Secretly permuted partition/bank mapping vs the baseline "
+              "attack (memory-hierarchy randomization alone)",
+        headers=["quantity", "plain mapping", "permuted mapping"],
+        rows=rows,
+        notes=[
+            "the coalescer merges by block address before any mapping: "
+            "access counts are bit-identical under the permuted map, so "
+            "the count-based leak (and the attack) survives — supporting "
+            "the paper's choice to randomize coalescing itself",
+        ],
+        metrics={
+            "plain_corr": plain_recovery.average_correct_correlation,
+            "permuted_corr": permuted_recovery.average_correct_correlation,
+            "accesses_identical": plain_accesses == permuted_accesses,
+        },
+    )

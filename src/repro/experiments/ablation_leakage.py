@@ -1,0 +1,66 @@
+"""Ablation: mutual-information leakage per mechanism.
+
+The paper quantifies security as the attacker's achievable *correlation*.
+Mutual information I(U; U_hat) is the model-free counterpart: it bounds
+what any statistic could extract from the mechanism-aware estimates. This
+ablation computes it per mechanism and num-subwarps (Monte Carlo over the
+same victim/attacker protocol as the rho estimator), anchored by two exact
+endpoints: the baseline leaks the full occupancy entropy H(N_{32,16}) and
+the coalescing-off machine leaks exactly zero.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.analysis.leakage import (
+    empirical_leakage_bits,
+    occupancy_entropy_bits,
+)
+from repro.core.policies import make_policy
+from repro.experiments.base import (
+    MECHANISMS,
+    ExperimentContext,
+    ExperimentResult,
+)
+from repro.utils import scaled_samples
+
+__all__ = ["run", "LEAKAGE_SWEEP"]
+
+LEAKAGE_SWEEP: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep: Sequence[int] = LEAKAGE_SWEEP) -> ExperimentResult:
+    mc_samples = scaled_samples(12000, 3000)
+    full_entropy = occupancy_entropy_bits(32, 16)
+
+    rows = []
+    metrics = {"baseline_bits": full_entropy}
+    for m in subwarp_sweep:
+        row = [m]
+        for mechanism in MECHANISMS:
+            bits = empirical_leakage_bits(
+                make_policy(mechanism, m), 16, mc_samples,
+                ctx.stream(f"leakage-{mechanism}-{m}"),
+            )
+            row.append(bits)
+            metrics.setdefault(mechanism, {})[m] = bits
+        rows.append(tuple(row))
+
+    return ExperimentResult(
+        experiment_id="ablation_leakage",
+        title="Mutual-information leakage I(U; U_hat) in bits per "
+              "last-round load",
+        headers=["num-subwarps"] + [f"bits {m.upper()}"
+                                    for m in MECHANISMS],
+        rows=rows,
+        notes=[
+            f"baseline machine leaks the full occupancy entropy "
+            f"H(N_32,16) = {full_entropy:.3f} bits; coalescing-off leaks "
+            f"0; FSS leaks its (per-M) full count entropy to Algorithm 1",
+            "plug-in MI estimates carry positive bias at finite samples; "
+            "compare columns, not absolute zeros",
+        ],
+        metrics=metrics,
+    )

@@ -1,0 +1,77 @@
+"""Ablation: the realistic (noisy) attacker (Section V-C's remark).
+
+The paper's evaluation assumes a strong attacker reading the clean
+last-round time; it notes the realistic attacker sees the noisy total time
+and needs vastly more samples (Jiang et al.: one million on hardware).
+This experiment quantifies the bridge on our simulator: inject Gaussian
+noise of increasing ratio into the last-round-time observable and measure
+how the baseline attack's correlation attenuates — the textbook
+1/sqrt(1 + ratio^2) factor — and how recovery degrades.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.estimator import AccessEstimator
+from repro.attack.noise import add_gaussian_noise, correlation_attenuation
+from repro.attack.recovery import CorrelationTimingAttack
+from repro.core.policies import make_policy
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    collect_records,
+)
+
+__all__ = ["run", "NOISE_RATIOS"]
+
+NOISE_RATIOS: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        noise_ratios: Sequence[float] = NOISE_RATIOS) -> ExperimentResult:
+    num_samples = ctx.sample_count(paper=150, fast=60)
+    server, records = collect_records(ctx, make_policy("baseline"),
+                                      num_samples)
+    ciphertexts = [r.ciphertext_lines for r in records]
+    clean = np.array([r.last_round_time for r in records], dtype=float)
+
+    rows = []
+    metrics = {}
+    clean_corr = None
+    for ratio in noise_ratios:
+        observable = add_gaussian_noise(
+            clean, ratio, ctx.stream(f"noise-{ratio}")
+        )
+        attack = CorrelationTimingAttack(
+            AccessEstimator(make_policy("baseline"))
+        )
+        recovery = attack.recover_key(ciphertexts, observable,
+                                      correct_key=server.last_round_key)
+        corr = recovery.average_correct_correlation
+        if clean_corr is None:
+            clean_corr = corr
+        predicted = clean_corr * correlation_attenuation(ratio)
+        rows.append((ratio, corr, predicted, recovery.num_correct,
+                     recovery.average_rank))
+        metrics[ratio] = {"corr": corr, "predicted": predicted,
+                          "recovered": recovery.num_correct}
+
+    return ExperimentResult(
+        experiment_id="ablation_noise",
+        title="Baseline attack vs measurement noise "
+              "(noise sigma as multiple of signal sigma)",
+        headers=["noise ratio", "avg corr", "predicted corr",
+                 "bytes recovered", "avg rank"],
+        rows=rows,
+        notes=[
+            "prediction: corr(clean) / sqrt(1 + ratio^2); samples needed "
+            "scale by (1 + ratio^2) per Eq 4 — the paper's 'one million "
+            "samples on real hardware' vs 100 on a quiet simulator is "
+            "this curve taken to large ratios",
+            f"{num_samples} samples",
+        ],
+        metrics=metrics,
+    )

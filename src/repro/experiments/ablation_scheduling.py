@@ -1,0 +1,91 @@
+"""Ablation: warp-scheduling noise vs the timing channel.
+
+Fig 18's methodology note: for 1024-line plaintexts the paper correlates
+against *observed access counts* "to negate the ill-effects of the warp
+scheduling noise" on the timing channel. This ablation quantifies that
+noise: on the undefended machine, compare
+
+* corr(last-round time, last-round accesses) — channel quality, and
+* the baseline attack's average correct-guess correlation over time,
+
+between the 1-warp (32-line) and 32-warp (1024-line) workloads, plus the
+counts channel as the noise-free reference. The timing channel should
+degrade with warp count while the counts channel stays exact — precisely
+the justification for the paper's switch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.attack.correlation import pearson
+from repro.core.policies import make_policy
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    collect_records,
+    run_corresponding_attack,
+)
+
+__all__ = ["run", "WORKLOAD_LINES"]
+
+WORKLOAD_LINES: Tuple[int, ...] = (32, 1024)
+
+
+def run(ctx: ExperimentContext = ExperimentContext()) -> ExperimentResult:
+    rows = []
+    metrics = {}
+    for lines in WORKLOAD_LINES:
+        # Big workloads cost ~2.5 s of simulation per sample; scale down.
+        paper_n, fast_n = (100, 40) if lines <= 64 else (30, 12)
+        num_samples = ctx.sample_count(paper=paper_n, fast=fast_n)
+        sub_ctx = ctx.with_(lines=lines, samples=num_samples)
+
+        server, records = collect_records(sub_ctx, make_policy("baseline"),
+                                          num_samples)
+        times = [float(r.last_round_time) for r in records]
+        accesses = [float(r.last_round_accesses) for r in records]
+        channel_quality = pearson(times, accesses)
+
+        timing_recovery = run_corresponding_attack(
+            sub_ctx, server, records, "baseline", 1
+        )
+        observed = np.array(
+            [r.last_round_byte_accesses for r in records]
+        ).T
+        counts_recovery = run_corresponding_attack(
+            sub_ctx, server, records, "baseline", 1, observable=observed
+        )
+
+        rows.append((
+            lines,
+            lines // 32,
+            channel_quality,
+            timing_recovery.average_correct_correlation,
+            counts_recovery.average_correct_correlation,
+        ))
+        metrics[lines] = {
+            "channel_quality": channel_quality,
+            "timing_attack_corr":
+                timing_recovery.average_correct_correlation,
+            "counts_attack_corr":
+                counts_recovery.average_correct_correlation,
+        }
+
+    return ExperimentResult(
+        experiment_id="ablation_scheduling",
+        title="Warp-scheduling noise: timing channel vs counts channel "
+              "(undefended machine)",
+        headers=["lines", "warps", "corr(time, accesses)",
+                 "attack corr (timing)", "attack corr (counts)"],
+        rows=rows,
+        notes=[
+            "paper Fig 18: with 32 warps the timing channel picks up "
+            "scheduling/contention noise, so the 1024-line security "
+            "evaluation correlates against observed accesses instead — "
+            "this table is that justification, measured",
+        ],
+        metrics=metrics,
+    )

@@ -1,0 +1,92 @@
+"""Ablation: selective RCoal (Section VII future work).
+
+Protecting only the last round should keep the last round exactly as hard
+to attack (same randomized coalescing there) while recovering most of the
+execution-time overhead (rounds 1-9 coalesce at full efficiency).
+
+Security is evaluated on the clean per-byte counts channel against the
+corresponding attack, performance on the timing simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import make_policy
+from repro.core.selective import SelectiveRCoalPolicy
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    collect_records,
+    run_corresponding_attack,
+)
+
+__all__ = ["run", "ABLATION_SWEEP"]
+
+ABLATION_SWEEP: Tuple[int, ...] = (4, 8, 16)
+_BASE_MECHANISM = "rss_rts"
+
+
+def _measure(ctx: ExperimentContext, policy, mechanism: str, m: int,
+             num_samples: int, perf_samples: int):
+    server, records = collect_records(ctx, policy, num_samples,
+                                      counts_only=True)
+    observed = np.array([r.last_round_byte_accesses for r in records]).T
+    recovery = run_corresponding_attack(ctx, server, records, mechanism, m,
+                                        observable=observed)
+    _, perf_records = collect_records(ctx, policy, perf_samples)
+    mean_time = float(np.mean([r.total_time for r in perf_records]))
+    mean_accesses = float(np.mean([r.total_accesses for r in records]))
+    return recovery.average_correct_correlation, mean_time, mean_accesses
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep: Sequence[int] = ABLATION_SWEEP) -> ExperimentResult:
+    num_samples = ctx.sample_count(paper=80, fast=30)
+    perf_samples = ctx.sample_count(paper=10, fast=5)
+
+    _, base_records = collect_records(ctx, make_policy("baseline"),
+                                      perf_samples)
+    baseline_time = float(np.mean([r.total_time for r in base_records]))
+
+    rows = []
+    metrics = {"full": {}, "selective": {}}
+    for m in subwarp_sweep:
+        full_corr, full_time, full_acc = _measure(
+            ctx, make_policy(_BASE_MECHANISM, m), _BASE_MECHANISM, m,
+            num_samples, perf_samples,
+        )
+        sel_policy = SelectiveRCoalPolicy(make_policy(_BASE_MECHANISM, m))
+        sel_corr, sel_time, sel_acc = _measure(
+            ctx, sel_policy, _BASE_MECHANISM, m, num_samples, perf_samples,
+        )
+        rows.append((
+            m,
+            full_corr, full_time / baseline_time, full_acc,
+            sel_corr, sel_time / baseline_time, sel_acc,
+        ))
+        metrics["full"][m] = {"corr": full_corr,
+                              "time": full_time / baseline_time}
+        metrics["selective"][m] = {"corr": sel_corr,
+                                   "time": sel_time / baseline_time}
+
+    return ExperimentResult(
+        experiment_id="ablation_selective",
+        title=f"Selective RCoal ({_BASE_MECHANISM}, last round only) vs "
+              f"full-kernel RCoal",
+        headers=["num-subwarps",
+                 "corr full", "time full", "accesses full",
+                 "corr selective", "time selective", "accesses selective"],
+        rows=rows,
+        notes=[
+            "paper Section VII: restricting RCoal to the vulnerable code "
+            "would 'enhance the performance further' at unchanged last-"
+            "round protection; this ablation implements that design",
+            "expected shape: selective keeps the attack correlation at the "
+            "full defense's level while its execution time returns most of "
+            "the way to 1.0",
+        ],
+        metrics=metrics,
+    )

@@ -1,0 +1,158 @@
+"""Shared experiment machinery.
+
+Every experiment follows the paper's measurement protocol:
+
+1. generate N random plaintexts (100 of 32 lines by default — the paper's
+   sample budget; Fig 18 uses 1024 lines);
+2. stand up an :class:`~repro.workloads.server.EncryptionServer` with the
+   mechanism under test (the victim draws from the "victim" RNG stream);
+3. optionally run the **corresponding attack**: an estimator whose model
+   policy mirrors the defense, drawing from the independent "attacker"
+   stream;
+4. tabulate.
+
+``ExperimentContext`` carries seed and sample-size knobs; sample counts
+default to the paper's and honor ``REPRO_SAMPLES`` / ``REPRO_FAST``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attack.estimator import AccessEstimator
+from repro.attack.recovery import CorrelationTimingAttack, KeyRecovery
+from repro.core.policies import CoalescingPolicy, make_policy
+from repro.experiments.reporting import format_table
+from repro.gpu.config import GPUConfig
+from repro.rng import RngStream
+from repro.utils import scaled_samples
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionRecord, EncryptionServer
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "MECHANISMS",
+    "collect_records",
+    "corresponding_attack",
+    "run_corresponding_attack",
+]
+
+#: The four defense mechanisms compared throughout Section VI, paper order.
+MECHANISMS: Tuple[str, ...] = ("fss", "fss_rts", "rss", "rss_rts")
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Knobs shared by all experiments."""
+
+    root_seed: int = 2018
+    #: Plaintext samples; None = the paper's count (scaled by env vars).
+    samples: Optional[int] = None
+    #: Plaintext size in 16-byte lines.
+    lines: int = 32
+    #: Optional GPU configuration override.
+    config: Optional[GPUConfig] = None
+
+    def sample_count(self, paper: int = 100, fast: int = 40) -> int:
+        if self.samples is not None:
+            return self.samples
+        return scaled_samples(paper, fast)
+
+    def stream(self, name: str) -> RngStream:
+        return RngStream(self.root_seed, name)
+
+    def secret_key(self) -> bytes:
+        """The victim's AES key for this experiment run."""
+        return bytes(self.stream("key").random_bytes(16))
+
+    def with_(self, **kwargs) -> "ExperimentContext":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: headers + rows + commentary."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Tuple]
+    notes: List[str] = field(default_factory=list)
+    #: Free-form metrics for programmatic consumers (tests, fig17 reuse).
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==",
+                 format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def collect_records(
+    ctx: ExperimentContext,
+    policy: CoalescingPolicy,
+    num_samples: int,
+    counts_only: bool = False,
+    retain_kernel_results: bool = False,
+) -> Tuple[EncryptionServer, List[EncryptionRecord]]:
+    """Encrypt the experiment's shared plaintext batch under ``policy``.
+
+    The plaintext batch and the key depend only on the context seed, so
+    every mechanism in a comparison sees identical inputs; the victim's
+    per-launch draws come from a policy-specific stream.
+    """
+    plaintexts = random_plaintexts(num_samples, ctx.lines,
+                                   ctx.stream("workload"))
+    victim_rng = ctx.stream(f"victim-{policy.describe()}")
+    server = EncryptionServer(
+        ctx.secret_key(), policy, config=ctx.config,
+        rng=victim_rng if policy.is_randomized else None,
+        counts_only=counts_only,
+        retain_kernel_results=retain_kernel_results,
+    )
+    return server, server.encrypt_batch(plaintexts)
+
+
+def corresponding_attack(ctx: ExperimentContext, policy_name: str,
+                         num_subwarps: int,
+                         warp_size: int = 32) -> AccessEstimator:
+    """The attack matching a defense (Section IV-E).
+
+    The attacker knows the mechanism and its parameters and mimics it with
+    *their own* random draws (independent "attacker" stream). ``baseline``
+    and ``nocoal`` victims are attacked with the baseline model.
+    """
+    model_name = policy_name if policy_name in MECHANISMS else "baseline"
+    model = make_policy(model_name, num_subwarps, warp_size)
+    rng = (ctx.stream(f"attacker-{model.describe()}")
+           if model.is_randomized else None)
+    return AccessEstimator(model, rng=rng, warp_size=warp_size)
+
+
+def run_corresponding_attack(
+    ctx: ExperimentContext,
+    server: EncryptionServer,
+    records: Sequence[EncryptionRecord],
+    policy_name: str,
+    num_subwarps: int,
+    observable: Optional[Sequence[float]] = None,
+) -> KeyRecovery:
+    """Full 16-byte recovery attempt against collected records.
+
+    ``observable`` defaults to the per-sample last-round execution time
+    (the paper's strong attacker); pass e.g. observed last-round access
+    counts for the Fig 18 methodology.
+    """
+    ciphertexts = [r.ciphertext_lines for r in records]
+    if observable is None:
+        observable = [r.last_round_time for r in records]
+    estimator = corresponding_attack(
+        ctx, policy_name, num_subwarps, server.gpu.config.warp_size
+    )
+    attack = CorrelationTimingAttack(estimator)
+    return attack.recover_key(ciphertexts, observable,
+                              correct_key=server.last_round_key)

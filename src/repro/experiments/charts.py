@@ -1,0 +1,80 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are mostly grouped bar / line charts over num-subwarps.
+This renderer turns an :class:`~repro.experiments.base.ExperimentResult`
+whose first column is the x-value and whose remaining numeric columns are
+series into a terminal-friendly horizontal bar chart — enough to *see* the
+crossovers without a plotting stack (the CSV/JSON export feeds real
+plotting tools).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["bar_chart", "result_chart"]
+
+_BAR = "█"
+_NEGATIVE_BAR = "▒"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 48, title: Optional[str] = None) -> str:
+    """One horizontal bar per (label, value).
+
+    Negative values render with a distinct fill; infinities are annotated
+    instead of scaled (they would flatten everything else).
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if not labels:
+        raise ConfigurationError("nothing to chart")
+
+    finite = [abs(v) for v in values if not math.isinf(v)]
+    scale = max(finite) if finite else 1.0
+    if scale == 0:
+        scale = 1.0
+    label_width = max(len(str(label)) for label in labels)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if math.isinf(value):
+            bar, shown = "→ inf", "inf"
+        else:
+            length = round(abs(value) / scale * width)
+            fill = _NEGATIVE_BAR if value < 0 else _BAR
+            bar = fill * max(length, 1 if value != 0 else 0)
+            shown = f"{value:.3g}"
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def result_chart(result: ExperimentResult, column: int = 1,
+                 width: int = 48) -> str:
+    """Chart one numeric column of a result against its first column."""
+    if not result.rows:
+        raise ConfigurationError("result has no rows")
+    if not 1 <= column < len(result.headers):
+        raise ConfigurationError(
+            f"column must be in [1, {len(result.headers) - 1}]: {column}"
+        )
+    labels = [str(row[0]) for row in result.rows]
+    values = []
+    for row in result.rows:
+        value = row[column]
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"column {column} ({result.headers[column]!r}) is not "
+                f"numeric"
+            )
+        values.append(float(value))
+    title = f"{result.experiment_id}: {result.headers[column]}"
+    return bar_chart(labels, values, width=width, title=title)

@@ -1,0 +1,58 @@
+"""Exporting experiment results (CSV / JSON) for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["to_csv", "to_json", "write_csv", "write_json"]
+
+
+def _jsonable(value):
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """The result's rows as CSV text (header row included)."""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([_jsonable(v) for v in row])
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Rows + notes as a JSON document (metrics omitted: they may hold
+    non-serializable series; use the Python API for those)."""
+    document = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(v) for v in row] for row in result.rows],
+        "notes": list(result.notes),
+    }
+    return json.dumps(document, indent=2)
+
+
+def write_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write the result as CSV; returns the path written."""
+    path = Path(path)
+    path.write_text(to_csv(result), encoding="utf-8")
+    return path
+
+
+def write_json(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write the result as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(to_json(result), encoding="utf-8")
+    return path

@@ -1,0 +1,68 @@
+"""Fig 6: the baseline attack vs coalescing on/off.
+
+(a) With coalescing enabled, the correct value of key byte 0 achieves the
+highest correlation among all 256 guesses and recovery succeeds.
+(b) With coalescing disabled every warp always generates 32 accesses, the
+correlation collapses to ~0, and no byte is recoverable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import make_policy
+from repro.experiments.base import ExperimentContext, ExperimentResult, \
+    collect_records, run_corresponding_attack
+
+__all__ = ["run"]
+
+
+def _attack_summary(ctx, policy_name):
+    policy = make_policy(policy_name)
+    num_samples = ctx.sample_count()
+    server, records = collect_records(ctx, policy, num_samples)
+    recovery = run_corresponding_attack(ctx, server, records,
+                                        "baseline", 1)
+    byte0 = recovery.bytes_[0]
+    wrong = np.delete(byte0.correlations, byte0.correct_value)
+    return recovery, {
+        "byte0_correct_corr": byte0.correct_correlation,
+        "byte0_max_wrong_corr": float(wrong.max()),
+        "byte0_rank": byte0.correct_rank,
+        "bytes_recovered": recovery.num_correct,
+        "avg_correct_corr": recovery.average_correct_correlation,
+        "avg_rank": recovery.average_rank,
+    }
+
+
+def run(ctx: ExperimentContext = ExperimentContext()) -> ExperimentResult:
+    _, enabled = _attack_summary(ctx, "baseline")
+    _, disabled = _attack_summary(ctx, "nocoal")
+
+    headers = ["quantity", "coalescing on (6a)", "coalescing off (6b)"]
+    keys = [
+        ("k0 correct-guess correlation", "byte0_correct_corr"),
+        ("k0 best wrong-guess correlation", "byte0_max_wrong_corr"),
+        ("k0 rank of correct guess (0=best)", "byte0_rank"),
+        ("key bytes recovered (of 16)", "bytes_recovered"),
+        ("avg correct-guess correlation", "avg_correct_corr"),
+        ("avg rank of correct guess", "avg_rank"),
+    ]
+    rows = [(label, enabled[key], disabled[key]) for label, key in keys]
+    return ExperimentResult(
+        experiment_id="fig06",
+        title="Effect of coalescing on recovery of last-round key byte 0",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: recovery succeeds with coalescing enabled and the "
+            "correct-guess correlation is the maximum; with coalescing "
+            "disabled all correlations are ~0 and no byte is recovered",
+            "deviation: at the paper's 100-sample budget our simulator "
+            "recovers most but not all bytes (per-byte correlation is "
+            "information-theoretically capped at ~0.25 when the last round "
+            "time is exactly linear in its 16 i.i.d. per-byte loads); "
+            "REPRO_SAMPLES=800 recovers the full key",
+        ],
+        metrics={"enabled": enabled, "disabled": disabled},
+    )

@@ -1,0 +1,28 @@
+"""Fig 8: the FSS attack (Algorithm 1) defeats standalone FSS.
+
+Once the attacker knows (or infers, from the large execution-time steps of
+Fig 7a) the machine's num-subwarps, Algorithm 1 computes the per-subwarp
+access counts exactly and the correlation — and key recovery — returns.
+Only M = 32 is immune (constant 32 accesses, zero variance).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.scatter import SCATTER_SWEEP, run_scatter_experiment
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep=SCATTER_SWEEP) -> ExperimentResult:
+    return run_scatter_experiment(
+        ctx,
+        experiment_id="fig08",
+        policy_name="fss",
+        title="FSS mechanism against the FSS attack (Algorithm 1)",
+        paper_note="paper: the FSS attack re-establishes a high correlation "
+                   "for the correct guess at every M < 32; FSS alone is not "
+                   "an adequate defense",
+        subwarp_sweep=subwarp_sweep,
+)

@@ -1,0 +1,60 @@
+"""Fig 9: RSS subwarp-size distributions (normal vs skewed), M = 4.
+
+Histograms of the subwarp sizes drawn over 1000 plaintexts. The normal
+variant clusters around 32/M = 8; the skewed variant (uniform over
+compositions) is right-skewed — most subwarps small, occasionally one very
+large — which both hides the sizes and preserves coalescing opportunity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.sizing import normal_sizes, skewed_sizes
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+__all__ = ["run", "NUM_DRAWS", "NUM_SUBWARPS"]
+
+NUM_DRAWS = 1000
+NUM_SUBWARPS = 4
+
+
+def run(ctx: ExperimentContext = ExperimentContext()) -> ExperimentResult:
+    warp_size = 32
+    rng_normal = ctx.stream("fig09-normal")
+    rng_skewed = ctx.stream("fig09-skewed")
+
+    normal_counts: Counter = Counter()
+    skewed_counts: Counter = Counter()
+    for _ in range(NUM_DRAWS):
+        normal_counts.update(normal_sizes(warp_size, NUM_SUBWARPS,
+                                          rng_normal))
+        skewed_counts.update(skewed_sizes(warp_size, NUM_SUBWARPS,
+                                          rng_skewed))
+
+    max_size = warp_size - NUM_SUBWARPS + 1
+    rows = [(size, normal_counts.get(size, 0), skewed_counts.get(size, 0))
+            for size in range(1, max_size + 1)]
+
+    def mean(counter: Counter) -> float:
+        total = sum(counter.values())
+        return sum(size * count for size, count in counter.items()) / total
+
+    return ExperimentResult(
+        experiment_id="fig09",
+        title=f"RSS subwarp-size distributions, num-subwarps={NUM_SUBWARPS}, "
+              f"{NUM_DRAWS} plaintexts",
+        headers=["subwarp size", "normal draws", "skewed draws"],
+        rows=rows,
+        notes=[
+            f"normal mean size {mean(normal_counts):.2f} (paper: close to "
+            f"32/M = {warp_size / NUM_SUBWARPS:.0f}); skewed mean "
+            f"{mean(skewed_counts):.2f} with a long right tail",
+            "paper: the skewed distribution makes all size combinations "
+            "equally likely with no empty subwarp",
+        ],
+        metrics={
+            "normal_histogram": dict(normal_counts),
+            "skewed_histogram": dict(skewed_counts),
+        },
+    )

@@ -1,0 +1,27 @@
+"""Fig 12: FSS+RTS against the FSS+RTS attack.
+
+The mimicking attacker reproduces the mechanism but not the victim's
+private per-launch thread permutation, so the correct guess no longer
+stands out as num-subwarps grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.scatter import SCATTER_SWEEP, run_scatter_experiment
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep=SCATTER_SWEEP) -> ExperimentResult:
+    return run_scatter_experiment(
+        ctx,
+        experiment_id="fig12",
+        policy_name="fss_rts",
+        title="FSS+RTS mechanism against the FSS+RTS attack",
+        paper_note="paper: recovery gets difficult as num-subwarps grows; "
+                   "random thread allocation is hard to match even for an "
+                   "attacker who implements it",
+        subwarp_sweep=subwarp_sweep,
+)

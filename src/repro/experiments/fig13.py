@@ -1,0 +1,26 @@
+"""Fig 13: RSS against the RSS attack.
+
+The attacker mimics the skewed subwarp sizing but the victim redraws sizes
+per launch; for num-subwarps > 2 the correct guess's correlation is no
+longer the maximum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.scatter import SCATTER_SWEEP, run_scatter_experiment
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep=SCATTER_SWEEP) -> ExperimentResult:
+    return run_scatter_experiment(
+        ctx,
+        experiment_id="fig13",
+        policy_name="rss",
+        title="RSS mechanism against the RSS attack",
+        paper_note="paper: for num-subwarps > 2 the correct key byte no "
+                   "longer has the highest correlation",
+        subwarp_sweep=subwarp_sweep,
+)

@@ -1,0 +1,25 @@
+"""Fig 14: RSS+RTS against the RSS+RTS attack.
+
+Randomness in both sizing and thread allocation; the hardest mechanism to
+mimic for num-subwarps in {2, 4}.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.scatter import SCATTER_SWEEP, run_scatter_experiment
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext = ExperimentContext(),
+        subwarp_sweep=SCATTER_SWEEP) -> ExperimentResult:
+    return run_scatter_experiment(
+        ctx,
+        experiment_id="fig14",
+        policy_name="rss_rts",
+        title="RSS+RTS mechanism against the RSS+RTS attack",
+        paper_note="paper: recovery of the correct key byte is difficult "
+                   "for num-subwarps > 2",
+        subwarp_sweep=subwarp_sweep,
+)

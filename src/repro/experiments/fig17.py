@@ -1,0 +1,72 @@
+"""Fig 17: RCoal_Score trade-off comparison (Equation 7).
+
+Combines the Fig 15 security data (average attack correlation) with the
+Fig 16 performance data (normalized execution time):
+
+* (a) security-oriented design: a = 1, b = 1;
+* (b) performance-oriented design: a = 1, b = 20.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.score import rcoal_score
+from repro.experiments import fig15, fig16
+from repro.experiments.base import (
+    MECHANISMS,
+    ExperimentContext,
+    ExperimentResult,
+)
+
+__all__ = ["run", "SCORE_SWEEP"]
+
+SCORE_SWEEP: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+def run(
+    ctx: ExperimentContext = ExperimentContext(),
+    subwarp_sweep: Sequence[int] = SCORE_SWEEP,
+    security_result: Optional[ExperimentResult] = None,
+    performance_result: Optional[ExperimentResult] = None,
+) -> ExperimentResult:
+    """Compute RCoal scores; Fig 15/16 results may be passed in to reuse."""
+    security = security_result or fig15.run(ctx, subwarp_sweep)
+    performance = performance_result or fig16.run(ctx, subwarp_sweep)
+    avg_corr = security.metrics["avg_corr"]
+    norm_time = performance.metrics["normalized_time"]
+
+    rows = []
+    scores = {"security": {}, "performance": {}}
+    for m in subwarp_sweep:
+        row = [m]
+        for weights, label in (((1.0, 1.0), "security"),
+                               ((1.0, 20.0), "performance")):
+            a, b = weights
+            for mech in MECHANISMS:
+                # |corr|: the score uses correlation magnitude; tiny
+                # negative estimates mean "no leakage found".
+                corr = abs(avg_corr[mech][m])
+                score = rcoal_score(corr, norm_time[mech][m], a=a, b=b)
+                row.append(score)
+                scores[label].setdefault(mech, {})[m] = score
+        rows.append(tuple(row))
+
+    headers = (
+        ["num-subwarps"]
+        + [f"a=1,b=1 {mech.upper()}" for mech in MECHANISMS]
+        + [f"a=1,b=20 {mech.upper()}" for mech in MECHANISMS]
+    )
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="RCoal_Score: security-oriented (a=1,b=1) and "
+              "performance-oriented (a=1,b=20) designs",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "paper: FSS+RTS scores best for the security-oriented design "
+            "at M in {8,16}; RSS+RTS overtakes it for the performance-"
+            "oriented design at the same M",
+        ],
+        metrics={"scores": scores, "sweep": list(subwarp_sweep)},
+    )

@@ -1,0 +1,72 @@
+"""Registry of experiment runners, keyed by paper table/figure id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation_addrmap,
+    ablation_blocksize,
+    ablation_energy,
+    ablation_inference,
+    ablation_leakage,
+    ablation_noise,
+    ablation_rss_dist,
+    ablation_samples,
+    ablation_scheduling,
+    ablation_selective,
+    fig05, fig06, fig07, fig08, fig09,
+    fig12, fig13, fig14, fig15, fig16, fig17, fig18,
+    table2,
+)
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table2": table2.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    # Extensions: the paper's Section VII directions and unshown ablations.
+    "ablation_selective": ablation_selective.run,
+    "ablation_rss_dist": ablation_rss_dist.run,
+    "ablation_inference": ablation_inference.run,
+    "ablation_samples": ablation_samples.run,
+    "ablation_noise": ablation_noise.run,
+    "ablation_energy": ablation_energy.run,
+    "ablation_blocksize": ablation_blocksize.run,
+    "ablation_leakage": ablation_leakage.run,
+    "ablation_scheduling": ablation_scheduling.run,
+    "ablation_addrmap": ablation_addrmap.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up one experiment runner by id (e.g. "fig06")."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str,
+                   ctx: ExperimentContext = ExperimentContext()
+                   ) -> ExperimentResult:
+    """Run one experiment under a context."""
+    return get_experiment(experiment_id)(ctx)

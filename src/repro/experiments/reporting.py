@@ -1,0 +1,46 @@
+"""ASCII rendering of experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_value", "format_table"]
+
+
+def format_value(value) -> str:
+    """Human-friendly formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table."""
+    formatted: List[List[str]] = [[format_value(v) for v in row]
+                                  for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)

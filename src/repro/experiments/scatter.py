@@ -1,0 +1,67 @@
+"""Shared harness for the scatter-plot figures (Figs 8, 12, 13, 14).
+
+Each of those figures runs one defense mechanism at several num-subwarp
+values against its *corresponding* attack and scatter-plots the per-guess
+correlations for key byte 0, highlighting the correct guess. The harness
+reduces each scatter to the quantities the figures communicate: the correct
+guess's correlation, the strongest wrong guess, the correct guess's rank,
+and whole-key recovery statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policies import make_policy
+from repro.experiments.base import ExperimentContext, ExperimentResult, \
+    collect_records, run_corresponding_attack
+
+__all__ = ["run_scatter_experiment", "SCATTER_SWEEP"]
+
+SCATTER_SWEEP: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+def run_scatter_experiment(
+    ctx: ExperimentContext,
+    experiment_id: str,
+    policy_name: str,
+    title: str,
+    paper_note: str,
+    subwarp_sweep: Sequence[int] = SCATTER_SWEEP,
+) -> ExperimentResult:
+    """Run ``policy_name`` vs its corresponding attack across the sweep."""
+    num_samples = ctx.sample_count()
+    rows = []
+    scatters = {}
+    for m in subwarp_sweep:
+        policy = make_policy(policy_name, m)
+        server, records = collect_records(ctx, policy, num_samples)
+        recovery = run_corresponding_attack(ctx, server, records,
+                                            policy_name, m)
+        byte0 = recovery.bytes_[0]
+        wrong = np.delete(byte0.correlations, byte0.correct_value)
+        rows.append((
+            m,
+            byte0.correct_correlation,
+            float(wrong.max()),
+            byte0.correct_rank,
+            recovery.average_correct_correlation,
+            recovery.num_correct,
+        ))
+        scatters[m] = byte0.correlations.tolist()
+
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["num-subwarps", "k0 correct corr", "k0 best wrong corr",
+                 "k0 rank", "avg correct corr", "bytes recovered"],
+        rows=rows,
+        notes=[paper_note],
+        metrics={
+            "avg_corr": {row[0]: row[4] for row in rows},
+            "bytes_recovered": {row[0]: row[5] for row in rows},
+            "scatter_correlations": scatters,
+        },
+    )

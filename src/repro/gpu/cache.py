@@ -1,0 +1,73 @@
+"""A small set-associative cache model (L2, per memory partition).
+
+Disabled by default to match the paper's evaluation (Section VII disables
+caches and MSHRs so the intra-warp coalescer is the only bandwidth filter).
+Provided so the substrate is complete and cache-enabled ablations can be run.
+LRU replacement, write-through / no-write-allocate (stores bypass).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache keyed by block address."""
+
+    def __init__(self, num_lines: int, ways: int, line_bytes: int = 64):
+        if num_lines <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        if num_lines % ways != 0:
+            raise ConfigurationError(
+                f"num_lines ({num_lines}) must be a multiple of ways ({ways})"
+            )
+        self.num_sets = num_lines // ways
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._sets: Dict[int, OrderedDict] = {
+            s: OrderedDict() for s in range(self.num_sets)
+        }
+        self.stats = CacheStats()
+
+    def _set_index(self, block_address: int) -> int:
+        return (block_address // self.line_bytes) % self.num_sets
+
+    def lookup(self, block_address: int) -> bool:
+        """Probe and fill: True on hit, False on miss (line is allocated)."""
+        set_map = self._sets[self._set_index(block_address)]
+        if block_address in set_map:
+            set_map.move_to_end(block_address)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(set_map) >= self.ways:
+            set_map.popitem(last=False)
+        set_map[block_address] = True
+        return False
+
+    def invalidate(self) -> None:
+        """Drop all lines (kernel boundary)."""
+        for set_map in self._sets.values():
+            set_map.clear()

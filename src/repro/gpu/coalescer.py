@@ -1,0 +1,185 @@
+"""The memory coalescing unit (MCU) with subwarp support.
+
+This models the modified coalescing unit of Fig 11. Each load instruction
+logs one pending-request-table (PRT) entry per active thread, carrying the
+thread id, the request's base/offset address, its size, and — the RCoal
+extension — a **subwarp id (sid)** field. Threads sharing a sid are coalesced
+together: their requests are merged into as few 64-byte block accesses as
+possible; threads with different sids are never merged, even when they touch
+the same block.
+
+The sid-per-thread mapping is supplied by a coalescing policy
+(:mod:`repro.core.policies`) and, matching the hardware description, is fixed
+for the duration of one kernel launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+
+__all__ = ["PRTEntry", "PendingRequestTable", "CoalescedGroup",
+           "CoalescingUnit"]
+
+
+@dataclass(frozen=True)
+class PRTEntry:
+    """One pending-request-table row (Fig 11): tid, sid, address, size."""
+
+    tid: int
+    sid: int
+    base_address: int
+    offset: int
+    size: int
+
+    @property
+    def address(self) -> int:
+        return self.base_address + self.offset
+
+
+class PendingRequestTable:
+    """The PRT of one coalescing unit.
+
+    A bounded table; entries are logged when a warp issues a memory
+    instruction and drained when the instruction's accesses are generated.
+    The bound models the hardware structure; the default (one full warp's
+    worth per scheduler) never back-pressures the simple in-order warps used
+    here, but the invariant is enforced to keep the model honest.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ConfigurationError(f"PRT capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: List[PRTEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[PRTEntry, ...]:
+        return tuple(self._entries)
+
+    def log(self, entry: PRTEntry) -> None:
+        """Insert one entry; raises when the table is full."""
+        if len(self._entries) >= self.capacity:
+            raise ProtocolError("pending request table overflow")
+        self._entries.append(entry)
+
+    def drain(self) -> List[PRTEntry]:
+        """Remove and return all entries (instruction fully processed)."""
+        entries, self._entries = self._entries, []
+        return entries
+
+
+@dataclass(frozen=True)
+class CoalescedGroup:
+    """The coalesced accesses generated for one subwarp of one instruction."""
+
+    sid: int
+    block_addresses: Tuple[int, ...]
+    thread_ids: Tuple[int, ...]
+
+
+class CoalescingUnit:
+    """Merges a warp's per-thread requests into block accesses, per subwarp.
+
+    Parameters
+    ----------
+    access_bytes:
+        Memory block (coalesced access) size; 64 in the paper's setup.
+    prt_capacity:
+        Pending-request-table size.
+    """
+
+    def __init__(self, access_bytes: int = 64, prt_capacity: int = 64):
+        if access_bytes <= 0 or access_bytes & (access_bytes - 1):
+            raise ConfigurationError(
+                f"access size must be a positive power of two: {access_bytes}"
+            )
+        self.access_bytes = access_bytes
+        self.prt = PendingRequestTable(prt_capacity)
+
+    def _block_of(self, address: int) -> int:
+        return address & ~(self.access_bytes - 1)
+
+    def coalesce(
+        self,
+        addresses: Sequence[int],
+        subwarp_map: Sequence[int],
+        request_size: int = 4,
+        active_mask: Optional[Sequence[bool]] = None,
+    ) -> List[CoalescedGroup]:
+        """Coalesce one warp instruction's thread addresses.
+
+        Parameters
+        ----------
+        addresses:
+            Per-thread byte addresses, one per lane.
+        subwarp_map:
+            Per-thread subwarp id (sid); threads are merged only within a
+            sid. ``len(subwarp_map)`` must equal ``len(addresses)``.
+        request_size:
+            Per-thread request size in bytes (4 for table lookups).
+        active_mask:
+            Optional per-thread active flags (branch divergence / partially
+            full warps); inactive threads generate no request.
+
+        Returns
+        -------
+        One :class:`CoalescedGroup` per non-empty subwarp, ordered by sid;
+        block addresses within a group are ordered by first touching thread,
+        matching hardware generation order.
+        """
+        if len(addresses) != len(subwarp_map):
+            raise ConfigurationError(
+                f"{len(addresses)} addresses vs {len(subwarp_map)} sids"
+            )
+        if active_mask is not None and len(active_mask) != len(addresses):
+            raise ConfigurationError("active mask length mismatch")
+
+        for tid, address in enumerate(addresses):
+            if active_mask is not None and not active_mask[tid]:
+                continue
+            self.prt.log(PRTEntry(
+                tid=tid,
+                sid=subwarp_map[tid],
+                base_address=self._block_of(address),
+                offset=address % self.access_bytes,
+                size=request_size,
+            ))
+
+        groups: Dict[int, Tuple[List[int], List[int]]] = {}
+        for entry in self.prt.drain():
+            blocks, tids = groups.setdefault(entry.sid, ([], []))
+            if entry.base_address not in blocks:
+                blocks.append(entry.base_address)
+            tids.append(entry.tid)
+
+        return [
+            CoalescedGroup(sid=sid,
+                           block_addresses=tuple(blocks),
+                           thread_ids=tuple(tids))
+            for sid, (blocks, tids) in sorted(groups.items())
+        ]
+
+    def count_accesses(
+        self,
+        addresses: Sequence[int],
+        subwarp_map: Sequence[int],
+        active_mask: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """Number of coalesced accesses an instruction generates.
+
+        Fast path used by counts-only experiments and the Monte-Carlo
+        analysis; equivalent to summing group sizes from :meth:`coalesce`.
+        """
+        seen: set = set()
+        block_mask = ~(self.access_bytes - 1)
+        for tid, address in enumerate(addresses):
+            if active_mask is not None and not active_mask[tid]:
+                continue
+            seen.add((subwarp_map[tid], address & block_mask))
+        return len(seen)

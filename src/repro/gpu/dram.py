@@ -1,0 +1,192 @@
+"""Banked GDDR5 DRAM with FR-FCFS scheduling.
+
+Event-driven bank/bus model. Each memory controller owns a request queue,
+per-bank row-buffer state, and a shared data bus. Scheduling is
+first-ready / first-come-first-served: among queued requests, one whose bank
+has the target row open wins (oldest such); otherwise the oldest request is
+picked. Service latencies come from the Hynix GDDR5 parameters of Table I
+(converted to core cycles): a row-buffer hit costs tCL, a row miss costs
+tRP + tRCD + tCL with tRC/tRAS respected between activates, and every access
+occupies the data bus for one burst.
+
+The model is analytic per request — no per-cycle simulation — so a kernel
+with tens of thousands of accesses is serviced in milliseconds while
+preserving queueing behaviour: bus saturation makes execution time grow
+~linearly in the number of coalesced accesses, which is precisely the
+signal the timing attack reads and the defenses perturb.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from itertools import islice
+from typing import Deque, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.gpu.address import DecodedAddress
+from repro.gpu.config import DramTiming
+from repro.gpu.request import MemoryAccess
+
+__all__ = ["BankState", "DramStats", "MemoryController"]
+
+
+@dataclass
+class BankState:
+    """Row-buffer and timing state of one DRAM bank."""
+
+    open_row: Optional[int] = None
+    #: Earliest cycle a new ACTIVATE may issue (tRC from the previous one).
+    next_activate: int = 0
+    #: Earliest cycle a PRECHARGE may issue (tRAS from the last activate).
+    next_precharge: int = 0
+    #: Earliest cycle the next column command may issue (tCCD pipelining).
+    next_cas: int = 0
+
+
+@dataclass
+class DramStats:
+    """Aggregate service statistics for one memory controller."""
+
+    row_hits: int = 0
+    row_misses: int = 0
+    reads: int = 0
+    writes: int = 0
+    bus_busy_cycles: int = 0
+    queue_wait_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass
+class _Queued:
+    access: MemoryAccess
+    decoded: DecodedAddress
+    arrival: int
+
+
+class MemoryController:
+    """FR-FCFS controller for one memory partition."""
+
+    def __init__(self, num_banks: int, timing: DramTiming,
+                 queue_capacity: int = 65536, frfcfs_window: int = 64):
+        self.timing = timing
+        self.banks = [BankState() for _ in range(num_banks)]
+        self.queue_capacity = queue_capacity
+        #: FR-FCFS searches row hits only within the oldest ``window``
+        #: entries (hardware schedulers have a bounded associative search).
+        self.frfcfs_window = frfcfs_window
+        self.stats = DramStats()
+        self._queue: Deque[_Queued] = deque()
+        #: Cycle at which the data bus next frees.
+        self.bus_free: int = 0
+        #: True while a completion event for this controller is in flight.
+        self._busy = False
+
+    # -- queue interface ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def enqueue(self, access: MemoryAccess, decoded: DecodedAddress,
+                cycle: int) -> None:
+        """Accept a request into the controller queue."""
+        if len(self._queue) >= self.queue_capacity:
+            raise ProtocolError("memory controller queue overflow")
+        self._queue.append(_Queued(access, decoded, cycle))
+
+    # -- scheduling -------------------------------------------------------------
+
+    def start_next(self, cycle: int
+                   ) -> Optional[Tuple[MemoryAccess, int, int]]:
+        """Pick and service the next request per FR-FCFS.
+
+        Returns ``(access, completion_cycle, next_slot_cycle)`` for the
+        chosen request, or ``None`` when the queue is empty.
+
+        ``next_slot_cycle`` is when the controller's command slot frees
+        (one column command per tCCD): the next scheduling decision happens
+        then, so column accesses pipeline — tCL is latency, and only the
+        command rate and the data bus serialize the stream. The caller must
+        invoke :meth:`release` at ``next_slot_cycle`` before scheduling
+        again.
+        """
+        if self._busy:
+            raise ProtocolError("controller already holds the command slot")
+        if not self._queue:
+            return None
+
+        index = self._select(cycle)
+        if index == 0:
+            queued = self._queue.popleft()
+        else:
+            # O(window) removal from the front region of the deque.
+            self._queue.rotate(-index)
+            queued = self._queue.popleft()
+            self._queue.rotate(index)
+        completion, next_slot = self._service(queued, cycle)
+        self._busy = True
+        return queued.access, completion, next_slot
+
+    def release(self) -> None:
+        """Free the command slot (engine callback at next_slot_cycle)."""
+        if not self._busy:
+            raise ProtocolError("controller release() without a held slot")
+        self._busy = False
+
+    def _select(self, cycle: int) -> int:
+        """FR-FCFS: oldest row-hit request in the window, else oldest."""
+        for i, queued in enumerate(islice(self._queue,
+                                          self.frfcfs_window)):
+            bank = self.banks[queued.decoded.bank]
+            if bank.open_row == queued.decoded.row:
+                return i
+        return 0
+
+    def _service(self, queued: _Queued, cycle: int) -> Tuple[int, int]:
+        """Compute (completion, next command slot) for one request."""
+        timing = self.timing
+        bank = self.banks[queued.decoded.bank]
+        row = queued.decoded.row
+
+        if bank.open_row == row:
+            # Column accesses to an open row pipeline every tCCD; tCL is
+            # latency, not occupancy.
+            self.stats.row_hits += 1
+            cas_issue = max(cycle, bank.next_cas)
+            data_ready = cas_issue + timing.t_cl
+        else:
+            self.stats.row_misses += 1
+            precharge = max(cycle, bank.next_cas, bank.next_precharge)
+            activate = max(precharge + timing.t_rp, bank.next_activate)
+            bank.next_activate = activate + timing.t_rc
+            bank.next_precharge = activate + timing.t_ras
+            bank.open_row = row
+            cas_issue = activate + timing.t_rcd
+            data_ready = cas_issue + timing.t_cl
+        bank.next_cas = cas_issue + timing.t_ccd
+
+        # The data bus serializes bursts across banks.
+        burst_start = max(data_ready, self.bus_free)
+        completion = burst_start + timing.t_burst
+        self.bus_free = completion
+
+        self.stats.bus_busy_cycles += timing.t_burst
+        self.stats.queue_wait_cycles += max(0, burst_start - queued.arrival)
+        if queued.access.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return completion, cas_issue + timing.t_ccd

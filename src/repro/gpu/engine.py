@@ -1,0 +1,353 @@
+"""The discrete-event GPU kernel simulator.
+
+:class:`GPUSimulator` executes a set of :class:`~repro.gpu.warp.WarpProgram`
+instances against the configured machine: warps issue through their SM's
+schedulers, memory instructions pass the coalescing unit (grouped by the
+per-warp subwarp-id map supplied by a coalescing policy), accesses traverse
+the forward crossbar to their memory partition, get serviced by the FR-FCFS
+GDDR5 model, and replies return over the reply crossbar to unblock the warp.
+
+The engine is policy-agnostic: it consumes only a ``sid_map`` per warp (the
+thread → subwarp-id assignment of Fig 11). Policies that produce those maps
+live in :mod:`repro.core.policies`, keeping the substrate reusable.
+
+Event kinds, in processing order per cycle: warp issue, coalescer egress
+("inject"), partition arrival, DRAM completion, reply delivery. Events are
+totally ordered by (cycle, sequence number), so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.gpu.address import AddressMap
+from repro.gpu.coalescer import CoalescingUnit
+from repro.gpu.config import GPUConfig
+from repro.gpu.interconnect import Crossbar
+from repro.gpu.partition import MemoryPartition
+from repro.gpu.request import MemoryAccess
+from repro.gpu.scheduler import SchedulerSet
+from repro.gpu.stats import KernelResult
+from repro.gpu.warp import ComputeInstruction, MemoryInstruction, WarpProgram
+
+__all__ = ["GPUSimulator", "KernelResult", "RoundAwareSidMap"]
+
+
+@dataclass
+class _SMState:
+    """Per-SM runtime state."""
+
+    schedulers: SchedulerSet
+    coalescer: CoalescingUnit
+    ldst_free: int = 0
+
+
+class RoundAwareSidMap:
+    """A subwarp-id map that varies by AES round.
+
+    Models the selective-RCoal hardware of the paper's Section VII: the
+    coalescing unit can swap sid tables between rounds, protecting only
+    the vulnerable code (e.g. the last round) and running the efficient
+    single-subwarp mapping elsewhere. ``default`` covers instructions
+    outside any round window (e.g. the output store).
+    """
+
+    def __init__(self, per_round: Mapping[int, Sequence[int]],
+                 default: Sequence[int]):
+        self._per_round = {r: tuple(m) for r, m in per_round.items()}
+        self._default = tuple(default)
+        lengths = {len(self._default)}
+        lengths.update(len(m) for m in self._per_round.values())
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                "all per-round sid maps must cover the same lane count"
+            )
+
+    def __len__(self) -> int:
+        return len(self._default)
+
+    def __iter__(self):
+        return iter(self._default)
+
+    def for_round(self, round_index: Optional[int]) -> Tuple[int, ...]:
+        if round_index is None:
+            return self._default
+        return self._per_round.get(round_index, self._default)
+
+
+def _resolve_sid_map(sid_map, round_index: Optional[int]
+                     ) -> Tuple[int, ...]:
+    """The lane->sid vector an instruction coalesces under."""
+    if isinstance(sid_map, RoundAwareSidMap):
+        return sid_map.for_round(round_index)
+    return sid_map
+
+
+@dataclass
+class _WarpState:
+    """Per-warp runtime state."""
+
+    program: WarpProgram
+    sm_id: int
+    slot: int
+    sid_map: object  # Tuple[int, ...] or RoundAwareSidMap
+    pc: int = 0
+    outstanding: int = 0
+    #: True while stalled at a barrier (compute / end) draining loads.
+    waiting: bool = False
+    finished: bool = False
+
+
+class GPUSimulator:
+    """Executes kernel launches on the simulated GPU.
+
+    Parameters
+    ----------
+    config:
+        Machine description (defaults reproduce the paper's Table I).
+    """
+
+    def __init__(self, config: Optional[GPUConfig] = None,
+                 address_map: Optional[AddressMap] = None):
+        self.config = config or GPUConfig()
+        self.address_map = address_map or AddressMap(self.config)
+
+    def run(
+        self,
+        programs: Sequence[WarpProgram],
+        sid_maps: Mapping[int, Sequence[int]],
+    ) -> KernelResult:
+        """Simulate one kernel launch.
+
+        Parameters
+        ----------
+        programs:
+            One warp program per warp (warp ids must be unique).
+        sid_maps:
+            ``warp_id -> per-thread subwarp id``; every warp needs a map
+            covering all ``config.warp_size`` lanes. The baseline machine is
+            expressed as the all-zeros map (one subwarp per warp).
+        """
+        if not programs:
+            raise ConfigurationError("a kernel launch needs at least one warp")
+
+        config = self.config
+        partitions = [
+            MemoryPartition(p, config, self.address_map)
+            for p in range(config.num_partitions)
+        ]
+        forward = Crossbar(config.num_partitions, config.icnt_latency,
+                           config.icnt_requests_per_cycle)
+        reply_net = Crossbar(config.num_sms, config.icnt_latency,
+                             config.icnt_requests_per_cycle)
+        sms = [
+            _SMState(
+                schedulers=SchedulerSet(config.warp_schedulers_per_sm,
+                                        config.issue_cycles),
+                coalescer=CoalescingUnit(config.access_bytes),
+            )
+            for _ in range(config.num_sms)
+        ]
+
+        warps: Dict[int, _WarpState] = {}
+        for program in programs:
+            if program.warp_id in warps:
+                raise ConfigurationError(
+                    f"duplicate warp id {program.warp_id}"
+                )
+            raw_map = sid_maps[program.warp_id]
+            sid_map = (raw_map if isinstance(raw_map, RoundAwareSidMap)
+                       else tuple(raw_map))
+            if len(sid_map) != config.warp_size:
+                raise ConfigurationError(
+                    f"sid map for warp {program.warp_id} covers "
+                    f"{len(sid_map)} lanes, expected {config.warp_size}"
+                )
+            sm_id = program.warp_id % config.num_sms
+            slot = program.warp_id // config.num_sms
+            if slot >= config.max_warps_per_sm:
+                raise ConfigurationError(
+                    "too many warps for the configured SM occupancy"
+                )
+            warps[program.warp_id] = _WarpState(
+                program=program, sm_id=sm_id, slot=slot, sid_map=sid_map
+            )
+
+        # A 64 B data reply spans multiple flits at the SM's ejection port.
+        reply_flits = 1 + -(-config.access_bytes // config.icnt_flit_bytes)
+
+        result = KernelResult(num_warps=len(warps))
+        events: List[Tuple[int, int, str, object]] = []
+        seq = itertools.count()
+        last_completion = 0
+
+        def push(cycle: int, tag: str, payload: object) -> None:
+            heapq.heappush(events, (cycle, next(seq), tag, payload))
+
+        for warp_id in warps:
+            push(0, "warp", warp_id)
+
+        def kick_partition(partition: MemoryPartition, cycle: int) -> None:
+            """Start the controller's next request if its command slot frees."""
+            if partition.controller.busy:
+                return
+            started = partition.start_next(cycle)
+            if started is not None:
+                access, completion, next_slot = started
+                push(completion, "dram", (partition.partition_id, access))
+                push(next_slot, "dslot", partition.partition_id)
+
+        def complete_access(access: MemoryAccess, cycle: int) -> None:
+            """An access finished at memory; route the reply if needed."""
+            nonlocal last_completion
+            last_completion = max(last_completion, cycle)
+            if access.is_write:
+                return
+            reply_cycle = reply_net.traverse(access.sm_id, cycle,
+                                             flits=reply_flits)
+            push(reply_cycle, "reply", access)
+
+        # -- event handlers ---------------------------------------------------
+
+        def handle_warp(warp_id: int, cycle: int) -> None:
+            warp = warps[warp_id]
+            if warp.pc >= len(warp.program.instructions):
+                if warp.outstanding > 0:
+                    warp.waiting = True
+                    return
+                warp.finished = True
+                result.warp_finish[warp_id] = cycle
+                return
+            instruction = warp.program.instructions[warp.pc]
+            # Loads are independent within a round and stay in flight
+            # (memory-level parallelism); compute consumes their results,
+            # so it acts as the scoreboard barrier.
+            if (isinstance(instruction, ComputeInstruction)
+                    and warp.outstanding > 0):
+                warp.waiting = True
+                return
+            warp.pc += 1
+            sm = sms[warp.sm_id]
+            issue = sm.schedulers.for_warp(warp.slot).issue_at(cycle)
+
+            if isinstance(instruction, ComputeInstruction):
+                done = issue + self.config.issue_cycles + instruction.cycles
+                window = result.window(warp_id, instruction.round_index)
+                window.observe_start(issue)
+                window.observe_end(done)
+                push(done, "warp", warp_id)
+                return
+
+            assert isinstance(instruction, MemoryInstruction)
+            if instruction.round_index is not None:
+                result.window(warp_id, instruction.round_index)\
+                      .observe_start(issue)
+
+            groups = sm.coalescer.coalesce(
+                instruction.addresses,
+                _resolve_sid_map(warp.sid_map, instruction.round_index),
+                request_size=instruction.request_size,
+                active_mask=instruction.active_mask,
+            )
+            blocks = [(g.sid, addr) for g in groups
+                      for addr in g.block_addresses]
+            if not blocks:
+                raise ProtocolError("memory instruction produced no accesses")
+
+            ldst_start = max(issue + self.config.issue_cycles, sm.ldst_free)
+            per_access = self.config.coalescer_cycles_per_access
+            for i, (_sid, block_address) in enumerate(blocks):
+                access = MemoryAccess(
+                    address=block_address,
+                    kind=instruction.kind,
+                    warp_id=warp_id,
+                    sm_id=warp.sm_id,
+                    round_index=instruction.round_index,
+                    is_write=instruction.is_write,
+                )
+                access.inject_cycle = ldst_start + i * per_access
+                result.count_access(instruction.kind,
+                                    instruction.round_index)
+                push(access.inject_cycle, "inject", access)
+            sm.ldst_free = ldst_start + len(blocks) * per_access
+
+            if instruction.is_write:
+                # Stores retire at LD/ST egress; the warp does not wait.
+                push(sm.ldst_free, "warp", warp_id)
+            else:
+                warp.outstanding += len(blocks)
+                # The warp keeps issuing: the next instruction may enter
+                # the pipeline while these loads are in flight.
+                push(issue + self.config.issue_cycles, "warp", warp_id)
+
+        def handle_inject(access: MemoryAccess, cycle: int) -> None:
+            partition_id = self.address_map.partition_of(access.address)
+            arrival = forward.traverse(partition_id, cycle)
+            push(arrival, "arrive", (partition_id, access))
+
+        def handle_arrive(partition_id: int, access: MemoryAccess,
+                          cycle: int) -> None:
+            partition = partitions[partition_id]
+            outcome = partition.arrive(access, cycle)
+            for finished, completion in outcome.immediate:
+                complete_access(finished, completion)
+            if outcome.queued:
+                kick_partition(partition, cycle)
+
+        def handle_dram(partition_id: int, access: MemoryAccess,
+                        cycle: int) -> None:
+            partition = partitions[partition_id]
+            released = partition.service_complete(access, cycle)
+            for finished in released:
+                complete_access(finished, cycle)
+
+        def handle_dslot(partition_id: int, cycle: int) -> None:
+            partition = partitions[partition_id]
+            partition.release_slot()
+            kick_partition(partition, cycle)
+
+        def handle_reply(access: MemoryAccess, cycle: int) -> None:
+            warp = warps[access.warp_id]
+            if access.round_index is not None:
+                result.window(access.warp_id, access.round_index)\
+                      .observe_end(cycle)
+            warp.outstanding -= 1
+            if warp.outstanding < 0:
+                raise ProtocolError("reply for a warp with no pending load")
+            if warp.outstanding == 0 and warp.waiting:
+                warp.waiting = False
+                push(cycle, "warp", access.warp_id)
+
+        # -- main loop --------------------------------------------------------
+
+        while events:
+            cycle, _seq, tag, payload = heapq.heappop(events)
+            if tag == "warp":
+                handle_warp(payload, cycle)  # type: ignore[arg-type]
+            elif tag == "inject":
+                handle_inject(payload, cycle)  # type: ignore[arg-type]
+            elif tag == "arrive":
+                partition_id, access = payload  # type: ignore[misc]
+                handle_arrive(partition_id, access, cycle)
+            elif tag == "dram":
+                partition_id, access = payload  # type: ignore[misc]
+                handle_dram(partition_id, access, cycle)
+            elif tag == "dslot":
+                handle_dslot(payload, cycle)  # type: ignore[arg-type]
+            elif tag == "reply":
+                handle_reply(payload, cycle)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unknown event tag {tag!r}")
+
+        unfinished = [w for w, s in warps.items() if not s.finished]
+        if unfinished:
+            raise ProtocolError(f"warps never finished: {unfinished}")
+
+        result.total_cycles = max(result.warp_finish.values())
+        result.drain_cycles = max(result.total_cycles, last_completion)
+        result.dram_stats = [p.controller.stats for p in partitions]
+        return result

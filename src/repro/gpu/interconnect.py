@@ -1,0 +1,67 @@
+"""Crossbar interconnect between SMs and memory partitions.
+
+One crossbar per direction (Table I). The model captures the two effects
+that matter for timing: a fixed traversal latency, and serialization at each
+partition's ingress port (one request per interconnect cycle). Reply traffic
+is modelled symmetrically on the return crossbar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Crossbar"]
+
+
+@dataclass
+class _Port:
+    next_free: int = 0
+    accepted: int = 0
+
+
+class Crossbar:
+    """A per-direction crossbar with per-output-port serialization."""
+
+    def __init__(self, num_ports: int, latency: int,
+                 requests_per_cycle: int = 1):
+        if num_ports <= 0:
+            raise ConfigurationError(f"port count must be positive: {num_ports}")
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0: {latency}")
+        if requests_per_cycle <= 0:
+            raise ConfigurationError(
+                f"requests_per_cycle must be positive: {requests_per_cycle}"
+            )
+        self.latency = latency
+        self._interval = 1  # cycles between accepts at full rate
+        self._rate = requests_per_cycle
+        self._ports: List[_Port] = [_Port() for _ in range(num_ports)]
+
+    def traverse(self, port: int, inject_cycle: int, flits: int = 1) -> int:
+        """Send one ``flits``-flit packet to ``port``; returns arrival cycle.
+
+        The output port drains one flit per cycle (at ``requests_per_cycle``
+        packet granularity for single-flit packets), so multi-flit packets —
+        e.g. 64-byte data replies — serialize traffic at the port. This is
+        the main linear-in-access-count component of load latency and the
+        reason execution time tracks the number of coalesced accesses.
+        """
+        if flits <= 0:
+            raise ConfigurationError(f"packets need at least one flit: {flits}")
+        state = self._ports[port]
+        accept = max(inject_cycle, state.next_free)
+        state.accepted += 1
+        if flits > 1:
+            state.next_free = accept + flits
+        elif state.accepted % self._rate == 0:
+            state.next_free = accept + self._interval
+        else:
+            state.next_free = accept
+        return accept + self.latency + flits - 1
+
+    def port_utilization(self, port: int) -> int:
+        """Total flits accepted by a port (for statistics)."""
+        return self._ports[port].accepted

@@ -1,0 +1,73 @@
+"""Miss-status holding registers (MSHR).
+
+MSHRs merge requests to a block that already has a request in flight: the
+secondary request completes when the primary's reply arrives, consuming no
+additional DRAM bandwidth. The paper's evaluation **disables** MSHRs (and
+caches) to isolate intra-warp coalescing (Section VII); the model exists so
+the substrate is complete and the interaction can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.gpu.request import MemoryAccess
+
+__all__ = ["MSHRFile", "MSHROutcome"]
+
+
+@dataclass
+class MSHROutcome:
+    """Result of presenting an access to the MSHR file."""
+
+    #: True when the access must be sent to memory (primary miss).
+    send_to_memory: bool
+    #: True when the MSHR file is full and the access must be retried.
+    stalled: bool = False
+
+
+@dataclass
+class _Entry:
+    primary: MemoryAccess
+    secondaries: List[MemoryAccess] = field(default_factory=list)
+
+
+class MSHRFile:
+    """A bounded file of miss-status holding registers for one partition."""
+
+    def __init__(self, num_entries: int, max_merged: int = 8):
+        if num_entries <= 0:
+            raise ConfigurationError(
+                f"MSHR entry count must be positive: {num_entries}"
+            )
+        self.num_entries = num_entries
+        self.max_merged = max_merged
+        self._entries: Dict[int, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, access: MemoryAccess) -> MSHROutcome:
+        """Record an access; decide whether it needs a memory request."""
+        entry = self._entries.get(access.address)
+        if entry is not None:
+            if len(entry.secondaries) >= self.max_merged:
+                return MSHROutcome(send_to_memory=False, stalled=True)
+            entry.secondaries.append(access)
+            return MSHROutcome(send_to_memory=False)
+        if len(self._entries) >= self.num_entries:
+            return MSHROutcome(send_to_memory=True, stalled=True)
+        self._entries[access.address] = _Entry(primary=access)
+        return MSHROutcome(send_to_memory=True)
+
+    def complete(self, block_address: int, cycle: int) -> List[MemoryAccess]:
+        """The primary reply arrived; release all merged accesses."""
+        entry = self._entries.pop(block_address, None)
+        if entry is None:
+            return []
+        released = [entry.primary] + entry.secondaries
+        for access in released:
+            access.complete_cycle = cycle
+        return released

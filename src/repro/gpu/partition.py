@@ -1,0 +1,95 @@
+"""A memory partition: optional L2 + optional MSHRs + a DRAM controller.
+
+Requests arrive from the interconnect; the partition first probes its L2
+(when enabled), then its MSHR file (when enabled) to merge duplicate in-
+flight blocks, and finally queues the access at the FR-FCFS DRAM controller.
+Both filters are disabled in the paper's configuration, in which case every
+coalesced access becomes one DRAM service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.gpu.address import AddressMap
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import GPUConfig
+from repro.gpu.dram import MemoryController
+from repro.gpu.mshr import MSHRFile
+from repro.gpu.request import MemoryAccess
+
+__all__ = ["ArrivalResult", "MemoryPartition"]
+
+
+@dataclass
+class ArrivalResult:
+    """What happened when an access arrived at a partition."""
+
+    #: Accesses that completed immediately (cache hits), with completion cycle.
+    immediate: List[Tuple[MemoryAccess, int]]
+    #: True when the access entered the DRAM queue (controller may need a kick).
+    queued: bool
+
+
+class MemoryPartition:
+    """One of the GPU's memory partitions."""
+
+    def __init__(self, partition_id: int, config: GPUConfig,
+                 address_map: AddressMap):
+        self.partition_id = partition_id
+        self._address_map = address_map
+        self.controller = MemoryController(
+            num_banks=config.num_banks,
+            timing=config.dram_timing_core,
+        )
+        self.l2: Optional[SetAssociativeCache] = (
+            SetAssociativeCache(config.l2_lines, config.l2_ways,
+                                config.access_bytes)
+            if config.enable_l2 else None
+        )
+        self.mshrs: Optional[MSHRFile] = (
+            MSHRFile(config.mshr_entries) if config.enable_mshr else None
+        )
+        self._l2_hit_latency = config.l2_hit_latency
+
+    def arrive(self, access: MemoryAccess, cycle: int) -> ArrivalResult:
+        """Process one access arriving from the interconnect."""
+        access.arrival_cycle = cycle
+
+        if self.l2 is not None and not access.is_write:
+            if self.l2.lookup(access.address):
+                completion = cycle + self._l2_hit_latency
+                access.complete_cycle = completion
+                return ArrivalResult(immediate=[(access, completion)],
+                                     queued=False)
+
+        if self.mshrs is not None and not access.is_write:
+            outcome = self.mshrs.lookup(access)
+            if not outcome.send_to_memory:
+                # Merged into an in-flight request; completes with primary.
+                return ArrivalResult(immediate=[], queued=False)
+
+        decoded = self._address_map.decode(access.address)
+        self.controller.enqueue(access, decoded, cycle)
+        return ArrivalResult(immediate=[], queued=True)
+
+    def service_complete(self, access: MemoryAccess, cycle: int
+                         ) -> List[MemoryAccess]:
+        """DRAM finished an access; release it plus any MSHR-merged twins."""
+        access.complete_cycle = cycle
+        if self.mshrs is not None and not access.is_write:
+            # The MSHR entry's primary *is* this access; completing the
+            # entry releases it together with any merged secondaries.
+            released = self.mshrs.complete(access.address, cycle)
+            if released:
+                return released
+        return [access]
+
+    def start_next(self, cycle: int):
+        """Ask the controller to begin its next queued request."""
+        return self.controller.start_next(cycle)
+
+    def release_slot(self) -> None:
+        """Free the controller's command slot (engine event callback)."""
+        self.controller.release()

@@ -1,0 +1,46 @@
+"""Memory request records flowing through the simulated memory system."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["AccessKind", "MemoryAccess"]
+
+_access_ids = itertools.count()
+
+
+class AccessKind(Enum):
+    """What generated a coalesced access (used for statistics buckets)."""
+
+    TABLE_LOAD = "table_load"
+    INPUT_LOAD = "input_load"
+    OUTPUT_STORE = "output_store"
+
+
+@dataclass
+class MemoryAccess:
+    """One coalesced memory access (a 64-byte block request).
+
+    Produced by the coalescing unit; one instance travels through the
+    interconnect, is serviced by a DRAM partition, and its completion wakes
+    the issuing warp.
+    """
+
+    address: int
+    kind: AccessKind
+    warp_id: int
+    sm_id: int
+    round_index: Optional[int] = None
+    is_write: bool = False
+    #: Unique id, assigned at creation (stable ordering for FR-FCFS ties).
+    uid: int = field(default_factory=lambda: next(_access_ids))
+    #: Fill-in fields as the access progresses through the system.
+    inject_cycle: int = 0
+    arrival_cycle: int = 0
+    complete_cycle: int = 0
+
+    def __lt__(self, other: "MemoryAccess") -> bool:
+        return self.uid < other.uid

@@ -1,0 +1,59 @@
+"""Warp schedulers.
+
+Each SM has two warp schedulers (Table I); warps are statically partitioned
+between them (even/odd warp slots, as in GPGPU-Sim's "lrr" arrangement). A
+scheduler issues at most one warp instruction per ``issue_cycles`` window; a
+ready warp issues at the earliest cycle its scheduler frees. This greedy
+earliest-free arbitration approximates loose round-robin: in-order warps are
+only ready when not stalled on memory, so long-latency loads naturally
+multiplex the schedulers across warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WarpScheduler", "SchedulerSet"]
+
+
+@dataclass
+class WarpScheduler:
+    """One warp scheduler's issue-port availability."""
+
+    issue_cycles: int
+    next_free: int = 0
+    issued: int = 0
+
+    def issue_at(self, ready_cycle: int) -> int:
+        """Reserve the issue port for one instruction; returns issue cycle."""
+        cycle = max(ready_cycle, self.next_free)
+        self.next_free = cycle + self.issue_cycles
+        self.issued += 1
+        return cycle
+
+
+class SchedulerSet:
+    """The warp schedulers of one SM plus warp-to-scheduler assignment."""
+
+    def __init__(self, num_schedulers: int, issue_cycles: int):
+        if num_schedulers <= 0:
+            raise ConfigurationError(
+                f"scheduler count must be positive: {num_schedulers}"
+            )
+        self._schedulers: List[WarpScheduler] = [
+            WarpScheduler(issue_cycles) for _ in range(num_schedulers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._schedulers)
+
+    def for_warp(self, warp_slot: int) -> WarpScheduler:
+        """The scheduler owning a warp slot (static even/odd partition)."""
+        return self._schedulers[warp_slot % len(self._schedulers)]
+
+    @property
+    def total_issued(self) -> int:
+        return sum(s.issued for s in self._schedulers)

@@ -1,0 +1,175 @@
+"""Warp programs: the instruction streams the simulator executes.
+
+A warp program linearizes one warp's share of the AES kernel into compute
+phases and memory instructions, derived from the per-thread lookup traces of
+:class:`repro.aes.ttable.TTableAES`:
+
+1. one coalesced **input load** (each thread reads its 16-byte plaintext
+   line);
+2. per round 1..10: a compute phase (AddRoundKey/XOR work) followed by 16
+   **table load** instructions — the k-th load gathers the k-th lookup of
+   every thread's trace for that round, in lockstep;
+3. one **output store** (each thread writes its ciphertext line).
+
+Line-to-thread mapping is sequential and deterministic (Section II-B):
+thread ``tid`` of warp ``w`` processes plaintext line ``w*32 + tid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.aes.key_schedule import NUM_ROUNDS
+from repro.aes.ttable import LOOKUPS_PER_ROUND, EncryptionTrace
+from repro.errors import ConfigurationError
+from repro.gpu.address import (
+    CIPHERTEXT_REGION_BASE,
+    PLAINTEXT_REGION_BASE,
+    AddressMap,
+)
+from repro.gpu.request import AccessKind
+
+__all__ = ["ComputeInstruction", "MemoryInstruction", "Instruction",
+           "WarpProgram", "build_warp_programs"]
+
+
+@dataclass(frozen=True)
+class ComputeInstruction:
+    """A block of ALU work (no memory traffic)."""
+
+    cycles: int
+    round_index: int
+
+
+@dataclass(frozen=True)
+class MemoryInstruction:
+    """One lockstep warp memory instruction (load or store)."""
+
+    addresses: Tuple[int, ...]
+    kind: AccessKind
+    round_index: Optional[int]
+    is_write: bool = False
+    request_size: int = 4
+    active_mask: Optional[Tuple[bool, ...]] = None
+
+
+Instruction = Union[ComputeInstruction, MemoryInstruction]
+
+
+@dataclass
+class WarpProgram:
+    """The full instruction stream of one warp for one kernel launch."""
+
+    warp_id: int
+    num_threads: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def num_memory_instructions(self) -> int:
+        return sum(1 for i in self.instructions
+                   if isinstance(i, MemoryInstruction))
+
+    def round_memory_instructions(self, round_index: int
+                                  ) -> List[MemoryInstruction]:
+        """The memory instructions belonging to one AES round."""
+        return [i for i in self.instructions
+                if isinstance(i, MemoryInstruction)
+                and i.round_index == round_index]
+
+
+def build_warp_programs(
+    traces: Sequence[EncryptionTrace],
+    address_map: AddressMap,
+    warp_size: int = 32,
+    round_compute_cycles: int = 40,
+    include_io: bool = True,
+) -> List[WarpProgram]:
+    """Build warp programs from per-thread (per-line) encryption traces.
+
+    Parameters
+    ----------
+    traces:
+        One :class:`EncryptionTrace` per plaintext line; line ``i`` maps to
+        warp ``i // warp_size``, thread ``i % warp_size``.
+    address_map:
+        Address layout used to place tables and data buffers.
+    warp_size:
+        Threads per warp (32 in the paper's configuration).
+    round_compute_cycles:
+        ALU cycles modelled per round between memory phases.
+    include_io:
+        Also model the plaintext read and ciphertext write of the kernel.
+    """
+    if not traces:
+        raise ConfigurationError("cannot build warp programs from zero traces")
+
+    programs: List[WarpProgram] = []
+    for warp_id in range(0, (len(traces) + warp_size - 1) // warp_size):
+        warp_traces = traces[warp_id * warp_size:(warp_id + 1) * warp_size]
+        num_threads = len(warp_traces)
+        active: Optional[Tuple[bool, ...]] = None
+        if num_threads < warp_size:
+            active = tuple(i < num_threads for i in range(warp_size))
+
+        def lane_addresses(per_thread: List[int]) -> Tuple[int, ...]:
+            """Pad partial warps: inactive lanes repeat the last address."""
+            if num_threads == warp_size:
+                return tuple(per_thread)
+            pad = per_thread + [per_thread[-1]] * (warp_size - num_threads)
+            return tuple(pad)
+
+        program = WarpProgram(warp_id=warp_id, num_threads=num_threads)
+
+        if include_io:
+            input_addresses = [
+                address_map.line_address(PLAINTEXT_REGION_BASE,
+                                         warp_id * warp_size + tid)
+                for tid in range(num_threads)
+            ]
+            program.instructions.append(MemoryInstruction(
+                addresses=lane_addresses(input_addresses),
+                kind=AccessKind.INPUT_LOAD,
+                round_index=0,
+                request_size=16,
+                active_mask=active,
+            ))
+
+        for round_index in range(1, NUM_ROUNDS + 1):
+            program.instructions.append(
+                ComputeInstruction(round_compute_cycles, round_index)
+            )
+            for k in range(LOOKUPS_PER_ROUND):
+                per_thread = []
+                for trace in warp_traces:
+                    table_id, index = trace.rounds[round_index - 1].lookups[k]
+                    per_thread.append(
+                        address_map.table_entry_address(table_id, index)
+                    )
+                program.instructions.append(MemoryInstruction(
+                    addresses=lane_addresses(per_thread),
+                    kind=AccessKind.TABLE_LOAD,
+                    round_index=round_index,
+                    request_size=4,
+                    active_mask=active,
+                ))
+
+        if include_io:
+            output_addresses = [
+                address_map.line_address(CIPHERTEXT_REGION_BASE,
+                                         warp_id * warp_size + tid)
+                for tid in range(num_threads)
+            ]
+            # round_index None: the store is outside the round windows, so
+            # it never extends the measured last-round span.
+            program.instructions.append(MemoryInstruction(
+                addresses=lane_addresses(output_addresses),
+                kind=AccessKind.OUTPUT_STORE,
+                round_index=None,
+                is_write=True,
+                request_size=16,
+                active_mask=active,
+            ))
+
+        programs.append(program)
+    return programs

@@ -1,0 +1,69 @@
+"""Small shared helpers used across the package."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "chunked",
+    "xor_bytes",
+    "env_int",
+    "env_flag",
+    "fast_mode",
+    "scaled_samples",
+]
+
+
+def chunked(seq: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield consecutive chunks of ``seq`` of length ``size``.
+
+    The final chunk may be shorter when ``len(seq)`` is not a multiple of
+    ``size``.
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for start in range(0, len(seq), size):
+        yield seq[start:start + size]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Bytewise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer environment variable with a default."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"environment variable {name}={raw!r} is not an int") from exc
+
+
+def env_flag(name: str) -> bool:
+    """True when the environment variable is set to a truthy marker."""
+    return os.environ.get(name, "").lower() in {"1", "true", "yes", "on"}
+
+
+def fast_mode() -> bool:
+    """True when REPRO_FAST asks experiments to use reduced sample counts."""
+    return env_flag("REPRO_FAST")
+
+
+def scaled_samples(paper_count: int, fast_count: int) -> int:
+    """Sample count for an experiment.
+
+    Priority: explicit ``REPRO_SAMPLES`` override, then the reduced count when
+    ``REPRO_FAST`` is set, then the paper's count.
+    """
+    override = os.environ.get("REPRO_SAMPLES")
+    if override:
+        return int(override)
+    return fast_count if fast_mode() else paper_count

@@ -1,0 +1,32 @@
+"""Workloads: plaintext generation and the victim encryption service.
+
+:class:`~repro.workloads.server.EncryptionServer` models the remote GPU AES
+server of the attack setting: it accepts plaintexts, encrypts them on the
+(policy-protected) simulated GPU, and exposes exactly what a strong attacker
+observes — ciphertexts and execution times (total and last-round, matching
+the paper's stronger-attacker assumption in Section II-C) — plus
+ground-truth access counts for the counts-based evaluations (Fig 18a).
+"""
+
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionRecord, EncryptionServer
+from repro.workloads.synthetic import (
+    AccessPattern,
+    HotspotPattern,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    SyntheticKernel,
+)
+
+__all__ = [
+    "random_plaintexts",
+    "EncryptionServer",
+    "EncryptionRecord",
+    "AccessPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "RandomPattern",
+    "HotspotPattern",
+    "SyntheticKernel",
+]

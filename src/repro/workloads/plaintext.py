@@ -1,0 +1,29 @@
+"""Plaintext sample generation.
+
+The attack sends "a large number of plaintexts" to the encryption server;
+the paper uses 100 uniformly random samples of 32 lines (and 1024 lines for
+the Fig 18 case study). Uniformly random plaintexts are also the assumption
+behind the theoretical model's 1/R access probability (Section V-B1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.cipher import BLOCK_BYTES
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+__all__ = ["random_plaintexts"]
+
+
+def random_plaintexts(num_samples: int, lines: int,
+                      rng: RngStream) -> List[bytes]:
+    """``num_samples`` uniformly random plaintexts of ``lines`` 16-byte lines."""
+    if num_samples <= 0:
+        raise ConfigurationError(
+            f"sample count must be positive: {num_samples}"
+        )
+    if lines <= 0:
+        raise ConfigurationError(f"line count must be positive: {lines}")
+    return [rng.random_bytes(lines * BLOCK_BYTES) for _ in range(num_samples)]

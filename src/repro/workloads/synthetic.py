@@ -1,0 +1,195 @@
+"""Synthetic memory-access workloads.
+
+The paper evaluates RCoal on AES only, but the defense applies to any
+kernel whose loads pass the coalescing unit. These generators build warp
+programs with controlled access patterns so the cost of subwarp
+randomization can be characterized as a function of *coalescibility*:
+
+* :class:`SequentialPattern` — thread ``tid`` reads ``base + tid*stride``:
+  perfectly coalescible (1 access/warp at stride 4); the worst case for
+  subwarping, whose overhead is exactly the subwarp count;
+* :class:`StridedPattern` — large strides spread threads over blocks,
+  the classic uncoalescible kernel: subwarping costs ~nothing;
+* :class:`RandomPattern` — uniform over R blocks: the AES T-table regime;
+* :class:`HotspotPattern` — a skewed mix: most threads hit a small hot set.
+
+:class:`SyntheticKernel` assembles rounds of compute + lockstep loads from
+a pattern, producing the same :class:`~repro.gpu.warp.WarpProgram` objects
+the AES path builds — so every policy, attack-counting utility, and the
+timing engine work on them unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.address import TABLE_REGION_BASE
+from repro.gpu.request import AccessKind
+from repro.gpu.warp import ComputeInstruction, MemoryInstruction, WarpProgram
+from repro.rng import RngStream
+
+__all__ = [
+    "AccessPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "RandomPattern",
+    "HotspotPattern",
+    "SyntheticKernel",
+]
+
+
+class AccessPattern(ABC):
+    """Generates one lockstep load's per-thread byte addresses."""
+
+    #: Short label used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def addresses(self, warp_size: int, instruction_index: int,
+                  rng: Optional[RngStream]) -> Tuple[int, ...]:
+        """Per-thread addresses (relative to the pattern's region base)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SequentialPattern(AccessPattern):
+    """Thread ``tid`` reads ``tid * stride`` — fully coalescible."""
+
+    stride: int = 4
+    name: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ConfigurationError(f"stride must be positive: {self.stride}")
+
+    def addresses(self, warp_size, instruction_index, rng):
+        base = TABLE_REGION_BASE + instruction_index * 4096
+        return tuple(base + tid * self.stride for tid in range(warp_size))
+
+
+@dataclass(frozen=True)
+class StridedPattern(AccessPattern):
+    """Thread ``tid`` reads ``tid * stride`` with a block-sized or larger
+    stride — every thread touches its own block (uncoalescible)."""
+
+    stride: int = 64
+    name: str = "strided"
+
+    def __post_init__(self) -> None:
+        if self.stride < 64:
+            raise ConfigurationError(
+                "strided pattern means one block per thread: stride >= 64"
+            )
+
+    def addresses(self, warp_size, instruction_index, rng):
+        base = TABLE_REGION_BASE + instruction_index * (self.stride * 64)
+        return tuple(base + tid * self.stride for tid in range(warp_size))
+
+
+@dataclass(frozen=True)
+class RandomPattern(AccessPattern):
+    """Each thread reads a uniformly random one of ``num_blocks`` blocks —
+    the AES T-table regime (R = 16 by default)."""
+
+    num_blocks: int = 16
+    name: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ConfigurationError(
+                f"need at least one block: {self.num_blocks}"
+            )
+
+    def addresses(self, warp_size, instruction_index, rng):
+        if rng is None:
+            raise ConfigurationError("random patterns need an RNG stream")
+        blocks = rng.integers(0, self.num_blocks, size=warp_size)
+        return tuple(TABLE_REGION_BASE + int(b) * 64 for b in blocks)
+
+
+@dataclass(frozen=True)
+class HotspotPattern(AccessPattern):
+    """A fraction of threads hit a small hot block set; the rest are
+    uniform over a larger cold set."""
+
+    hot_blocks: int = 2
+    cold_blocks: int = 64
+    hot_fraction: float = 0.8
+    name: str = "hotspot"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot fraction must be in [0, 1]: {self.hot_fraction}"
+            )
+        if self.hot_blocks <= 0 or self.cold_blocks <= 0:
+            raise ConfigurationError("block counts must be positive")
+
+    def addresses(self, warp_size, instruction_index, rng):
+        if rng is None:
+            raise ConfigurationError("random patterns need an RNG stream")
+        out = []
+        for _ in range(warp_size):
+            if rng.uniform() < self.hot_fraction:
+                block = int(rng.integers(0, self.hot_blocks))
+            else:
+                block = self.hot_blocks + int(rng.integers(0,
+                                                           self.cold_blocks))
+            out.append(TABLE_REGION_BASE + block * 64)
+        return tuple(out)
+
+
+class SyntheticKernel:
+    """Builds warp programs of compute + lockstep loads from a pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The access pattern every load follows.
+    num_warps / loads_per_round / num_rounds:
+        Program shape; each round is a compute phase followed by
+        ``loads_per_round`` lockstep loads (mirroring the AES structure so
+        per-round statistics stay meaningful).
+    """
+
+    def __init__(self, pattern: AccessPattern, num_warps: int = 1,
+                 loads_per_round: int = 16, num_rounds: int = 10,
+                 warp_size: int = 32, round_compute_cycles: int = 40):
+        if num_warps <= 0 or loads_per_round <= 0 or num_rounds <= 0:
+            raise ConfigurationError("kernel shape must be positive")
+        self.pattern = pattern
+        self.num_warps = num_warps
+        self.loads_per_round = loads_per_round
+        self.num_rounds = num_rounds
+        self.warp_size = warp_size
+        self.round_compute_cycles = round_compute_cycles
+
+    def build(self, rng: Optional[RngStream] = None) -> List[WarpProgram]:
+        """Materialize the warp programs (drawing pattern randomness)."""
+        programs = []
+        for warp_id in range(self.num_warps):
+            program = WarpProgram(warp_id=warp_id,
+                                  num_threads=self.warp_size)
+            instruction_index = 0
+            for round_index in range(1, self.num_rounds + 1):
+                program.instructions.append(ComputeInstruction(
+                    self.round_compute_cycles, round_index
+                ))
+                for _ in range(self.loads_per_round):
+                    addresses = self.pattern.addresses(
+                        self.warp_size, instruction_index, rng
+                    )
+                    program.instructions.append(MemoryInstruction(
+                        addresses=addresses,
+                        kind=AccessKind.TABLE_LOAD,
+                        round_index=round_index,
+                        request_size=4,
+                    ))
+                    instruction_index += 1
+            programs.append(program)
+        return programs

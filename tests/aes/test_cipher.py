@@ -1,0 +1,50 @@
+"""Tests for the reference AES-128 cipher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.cipher import decrypt_block, encrypt_block
+from repro.aes.vectors import KNOWN_ANSWERS
+from repro.errors import BlockSizeError
+
+keys = st.binary(min_size=16, max_size=16)
+blocks = st.binary(min_size=16, max_size=16)
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("vector", KNOWN_ANSWERS,
+                             ids=[v.name for v in KNOWN_ANSWERS])
+    def test_encrypt(self, vector):
+        assert encrypt_block(vector.plaintext, vector.key) \
+            == vector.ciphertext
+
+    @pytest.mark.parametrize("vector", KNOWN_ANSWERS,
+                             ids=[v.name for v in KNOWN_ANSWERS])
+    def test_decrypt(self, vector):
+        assert decrypt_block(vector.ciphertext, vector.key) \
+            == vector.plaintext
+
+
+class TestProperties:
+    @given(keys, blocks)
+    def test_roundtrip(self, key, plaintext):
+        assert decrypt_block(encrypt_block(plaintext, key), key) == plaintext
+
+    @given(keys, blocks)
+    def test_encryption_changes_the_block(self, key, plaintext):
+        # AES is a permutation without trivial fixed structure; equality
+        # would be astronomically unlikely and indicates a wiring bug.
+        assert encrypt_block(plaintext, key) != plaintext
+
+    @given(keys, keys, blocks)
+    def test_different_keys_differ(self, key_a, key_b, plaintext):
+        if key_a != key_b:
+            assert encrypt_block(plaintext, key_a) \
+                != encrypt_block(plaintext, key_b)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(BlockSizeError):
+            encrypt_block(b"tiny", bytes(16))
+        with pytest.raises(BlockSizeError):
+            decrypt_block(b"tiny", bytes(16))

@@ -1,0 +1,69 @@
+"""Tests for AES-128 key expansion and its inversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.key_schedule import (
+    NUM_ROUNDS,
+    expand_key,
+    last_round_key,
+    rcon,
+    recover_master_key,
+)
+from repro.aes.vectors import FIPS197_EXPANDED_KEY_FIRST_WORDS
+from repro.errors import KeySizeError
+
+keys = st.binary(min_size=16, max_size=16)
+
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestExpansion:
+    def test_round_zero_is_master_key(self):
+        assert expand_key(FIPS_KEY)[0] == FIPS_KEY
+
+    def test_produces_eleven_round_keys(self):
+        round_keys = expand_key(FIPS_KEY)
+        assert len(round_keys) == NUM_ROUNDS + 1
+        assert all(len(k) == 16 for k in round_keys)
+
+    def test_fips197_appendix_a_words(self):
+        round_keys = expand_key(FIPS_KEY)
+        for round_index, word_index, expected in \
+                FIPS197_EXPANDED_KEY_FIRST_WORDS:
+            word = round_keys[round_index][4 * word_index: 4 * word_index + 4]
+            assert int.from_bytes(word, "big") == expected
+
+    def test_rcon_sequence(self):
+        expected = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+                    0x1B, 0x36]
+        assert [rcon(i) for i in range(1, 11)] == expected
+
+    def test_rcon_rejects_zero(self):
+        with pytest.raises(ValueError):
+            rcon(0)
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(KeySizeError):
+            expand_key(b"short")
+
+
+class TestInversion:
+    @given(keys)
+    def test_roundtrip_from_last_round(self, key):
+        assert recover_master_key(last_round_key(key)) == key
+
+    @given(keys, st.integers(min_value=0, max_value=NUM_ROUNDS))
+    def test_roundtrip_from_any_round(self, key, round_index):
+        round_keys = expand_key(key)
+        assert recover_master_key(round_keys[round_index],
+                                  round_index) == key
+
+    def test_rejects_wrong_round_key_size(self):
+        with pytest.raises(KeySizeError):
+            recover_master_key(b"bad")
+
+    def test_rejects_out_of_range_round(self):
+        with pytest.raises(ValueError):
+            recover_master_key(bytes(16), 11)

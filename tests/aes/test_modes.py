@@ -1,0 +1,51 @@
+"""Tests for multi-line (ECB) encryption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.cipher import encrypt_block
+from repro.aes.modes import decrypt_lines, encrypt_lines, join_lines, \
+    split_lines
+from repro.errors import BlockSizeError
+
+keys = st.binary(min_size=16, max_size=16)
+plaintexts = st.binary(min_size=16, max_size=16 * 8).filter(
+    lambda b: len(b) % 16 == 0
+)
+
+
+class TestSplitJoin:
+    def test_split_produces_16_byte_lines(self):
+        lines = split_lines(bytes(64))
+        assert len(lines) == 4
+        assert all(len(line) == 16 for line in lines)
+
+    def test_split_rejects_partial_lines(self):
+        with pytest.raises(BlockSizeError):
+            split_lines(bytes(20))
+
+    @given(plaintexts)
+    def test_join_inverts_split(self, data):
+        assert join_lines(split_lines(data)) == data
+
+
+class TestEcb:
+    @given(keys, plaintexts)
+    def test_roundtrip(self, key, plaintext):
+        assert decrypt_lines(encrypt_lines(plaintext, key), key) == plaintext
+
+    @given(keys, plaintexts)
+    def test_lines_encrypt_independently(self, key, plaintext):
+        ciphertext = encrypt_lines(plaintext, key)
+        for line_in, line_out in zip(split_lines(plaintext),
+                                     split_lines(ciphertext)):
+            assert line_out == encrypt_block(line_in, key)
+
+    def test_identical_lines_give_identical_ciphertext(self):
+        # The ECB property the GPU kernel relies on (and the attack's
+        # per-line independence).
+        key = bytes(range(16))
+        ciphertext = encrypt_lines(bytes(32), key)
+        lines = split_lines(ciphertext)
+        assert lines[0] == lines[1]

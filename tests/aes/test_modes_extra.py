@@ -1,0 +1,98 @@
+"""Tests for CBC / CTR modes (NIST SP 800-38A vectors + properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes.modes import (
+    counter_block,
+    crypt_ctr,
+    ctr_keystream,
+    decrypt_cbc,
+    encrypt_cbc,
+)
+from repro.errors import BlockSizeError
+
+keys = st.binary(min_size=16, max_size=16)
+ivs = st.binary(min_size=16, max_size=16)
+data16 = st.binary(min_size=16, max_size=96).filter(
+    lambda b: len(b) % 16 == 0)
+
+# NIST SP 800-38A F.2.1 (CBC-AES128).
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NIST_CBC_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+)
+NIST_CBC_CT = bytes.fromhex(
+    "7649abac8119b246cee98e9b12e9197d"
+    "5086cb9b507219ee95db113a917678b2"
+)
+
+# NIST SP 800-38A F.5.1 (CTR-AES128). The 16-byte initial counter block
+# f0f1..ff maps to nonce = first 8 bytes, counter = last 8 bytes.
+NIST_CTR_NONCE = bytes.fromhex("f0f1f2f3f4f5f6f7")
+NIST_CTR_COUNTER = int.from_bytes(bytes.fromhex("f8f9fafbfcfdfeff"), "big")
+NIST_CTR_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+)
+NIST_CTR_CT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+)
+
+
+class TestCbc:
+    def test_nist_vector(self):
+        assert encrypt_cbc(NIST_CBC_PT, NIST_KEY, NIST_IV) == NIST_CBC_CT
+        assert decrypt_cbc(NIST_CBC_CT, NIST_KEY, NIST_IV) == NIST_CBC_PT
+
+    @given(keys, ivs, data16)
+    @settings(max_examples=25)
+    def test_roundtrip(self, key, iv, plaintext):
+        assert decrypt_cbc(encrypt_cbc(plaintext, key, iv), key, iv) \
+            == plaintext
+
+    def test_chaining_breaks_ecb_equality(self):
+        # Two identical plaintext blocks produce different ciphertexts.
+        ciphertext = encrypt_cbc(bytes(32), NIST_KEY, NIST_IV)
+        assert ciphertext[:16] != ciphertext[16:]
+
+    def test_rejects_bad_iv(self):
+        with pytest.raises(BlockSizeError):
+            encrypt_cbc(bytes(16), NIST_KEY, b"short")
+
+
+class TestCtr:
+    def test_nist_vector(self):
+        assert crypt_ctr(NIST_CTR_PT, NIST_KEY, NIST_CTR_NONCE,
+                         NIST_CTR_COUNTER) == NIST_CTR_CT
+
+    @given(keys, st.binary(min_size=8, max_size=8),
+           st.binary(min_size=1, max_size=70))
+    @settings(max_examples=25)
+    def test_self_inverse_any_length(self, key, nonce, data):
+        once = crypt_ctr(data, key, nonce)
+        assert crypt_ctr(once, key, nonce) == data
+        assert len(once) == len(data)
+
+    def test_keystream_blocks_are_counter_encryptions(self):
+        from repro.aes.cipher import encrypt_block
+
+        stream = ctr_keystream(NIST_KEY, bytes(8), 3, initial_counter=5)
+        for i in range(3):
+            expected = encrypt_block(counter_block(bytes(8), 5 + i),
+                                     NIST_KEY)
+            assert stream[16 * i: 16 * (i + 1)] == expected
+
+    def test_counter_block_layout(self):
+        block = counter_block(b"\x01" * 8, 0x0203)
+        assert block == b"\x01" * 8 + (0x0203).to_bytes(8, "big")
+
+    def test_counter_block_validation(self):
+        with pytest.raises(BlockSizeError):
+            counter_block(b"short", 0)
+        with pytest.raises(BlockSizeError):
+            counter_block(bytes(8), 2 ** 64)

@@ -1,0 +1,72 @@
+"""Tests for the GF(2^8) arithmetic and S-box construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.sbox import GF_MODULUS, INV_SBOX, SBOX, gf_inverse, gf_mul, xtime
+from repro.aes.vectors import SBOX_SPOT_CHECKS
+
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+class TestGFArithmetic:
+    def test_xtime_small_values(self):
+        assert xtime(0x01) == 0x02
+        assert xtime(0x40) == 0x80
+        # 0x80 * 2 overflows and reduces by the modulus.
+        assert xtime(0x80) == (0x100 ^ GF_MODULUS) & 0xFF == 0x1B
+
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_mul_known_value(self):
+        # FIPS-197 example: {57} x {83} = {c1}.
+        assert gf_mul(0x57, 0x83) == 0xC1
+
+    @given(bytes_, bytes_)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(bytes_, bytes_, bytes_)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(bytes_, bytes_, bytes_)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(bytes_)
+    def test_inverse_property(self, a):
+        inv = gf_inverse(a)
+        if a == 0:
+            assert inv == 0
+        else:
+            assert gf_mul(a, inv) == 1
+
+    def test_inverse_is_involution_on_nonzero(self):
+        for a in range(1, 256):
+            assert gf_inverse(gf_inverse(a)) == a
+
+
+class TestSbox:
+    def test_spot_values(self):
+        for index, expected in SBOX_SPOT_CHECKS:
+            assert SBOX[index] == expected
+
+    def test_is_a_bijection(self):
+        assert sorted(SBOX) == list(range(256))
+        assert sorted(INV_SBOX) == list(range(256))
+
+    def test_inverse_round_trips(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+            assert SBOX[INV_SBOX[x]] == x
+
+    def test_has_no_fixed_points(self):
+        # A classic Rijndael property: S[x] != x and S[x] != ~x for all x.
+        for x in range(256):
+            assert SBOX[x] != x
+            assert SBOX[x] != x ^ 0xFF

@@ -1,0 +1,68 @@
+"""Tests for the T-table construction and memory layout."""
+
+import pytest
+
+from repro.aes.sbox import SBOX, gf_mul
+from repro.aes.tables import (
+    BLOCK_BYTES,
+    ENTRIES_PER_BLOCK,
+    ENTRY_BYTES,
+    LAST_ROUND_TABLE_ID,
+    NUM_TABLE_BLOCKS,
+    ROUND_TABLES,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    TABLE_BYTES,
+    TABLE_ENTRIES,
+    block_of_index,
+    table_entry_bytes,
+)
+
+
+class TestLayoutConstants:
+    def test_paper_configuration(self):
+        # Section II-C: 16 consecutive table elements share one block,
+        # giving R = 16 blocks per 1 KB table.
+        assert ENTRY_BYTES == 4
+        assert BLOCK_BYTES == 64
+        assert ENTRIES_PER_BLOCK == 16
+        assert NUM_TABLE_BLOCKS == 16
+        assert TABLE_BYTES == 1024
+
+    def test_block_of_index_is_shift_four(self):
+        for index in range(TABLE_ENTRIES):
+            assert block_of_index(index) == index >> 4
+
+    def test_block_of_index_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_of_index(256)
+        with pytest.raises(ValueError):
+            block_of_index(-1)
+
+
+class TestTableContents:
+    def test_t0_packs_mixcolumns_of_sbox(self):
+        for x in range(TABLE_ENTRIES):
+            s = SBOX[x]
+            assert T0[x] == (gf_mul(s, 2), s, s, gf_mul(s, 3))
+
+    def test_t1_to_t3_are_rotations_of_t0(self):
+        for x in range(TABLE_ENTRIES):
+            e = T0[x]
+            assert T1[x] == (e[3], e[0], e[1], e[2])
+            assert T2[x] == (e[2], e[3], e[0], e[1])
+            assert T3[x] == (e[1], e[2], e[3], e[0])
+
+    def test_t4_packs_bare_sbox(self):
+        for x in range(TABLE_ENTRIES):
+            assert T4[x] == (SBOX[x],) * 4
+
+    def test_round_tables_ordering(self):
+        assert ROUND_TABLES == (T0, T1, T2, T3)
+
+    def test_table_entry_bytes(self):
+        assert table_entry_bytes(0, 0) == bytes(T0[0])
+        assert table_entry_bytes(LAST_ROUND_TABLE_ID, 255) == bytes(T4[255])

@@ -1,0 +1,136 @@
+"""Tests for the exact combinatorics layer."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.combinatorics import (
+    binomial,
+    composition_pair_pmf,
+    composition_part_pmf,
+    iter_compositions,
+    multinomial_pair_pmf,
+    multinomial_single_pmf,
+    num_compositions,
+    stirling2,
+)
+from repro.errors import AnalysisError
+
+
+class TestStirling:
+    def test_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(7, 8) == 0
+
+    def test_known_values(self):
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 3) == 90
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_boundary_identities(self, n):
+        assert stirling2(n, 1) == 1
+        assert stirling2(n, n) == 1
+        if n >= 2:
+            assert stirling2(n, n - 1) == n * (n - 1) // 2
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_bell_number_sum(self, n):
+        """Sum over k of S(n,k) equals the Bell number; check recurrence
+        against direct set-partition counting for small n."""
+        bell = sum(stirling2(n, k) for k in range(n + 1))
+        # Bell numbers: 1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975
+        known = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975]
+        assert bell == known[n]
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            stirling2(-1, 0)
+
+
+class TestBinomial:
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, 6) == 0
+        assert binomial(-1, 0) == 0
+        assert binomial(5, -1) == 0
+
+    def test_known(self):
+        assert binomial(32, 16) == 601080390
+
+
+class TestCompositions:
+    def test_counts(self):
+        assert num_compositions(5, 2) == 4
+        assert num_compositions(32, 4) == binomial(31, 3)
+        assert num_compositions(3, 5) == 0
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=30)
+    def test_part_pmf_sums_to_one(self, total, data):
+        parts = data.draw(st.integers(min_value=1, max_value=total))
+        pmf = composition_part_pmf(total, parts)
+        assert sum(pmf.values()) == Fraction(1)
+        assert all(1 <= k <= total - parts + 1 for k in pmf)
+
+    def test_part_pmf_matches_enumeration(self):
+        total, parts = 7, 3
+        compositions = list(iter_compositions(total, parts))
+        pmf = composition_part_pmf(total, parts)
+        for k in range(1, total - parts + 2):
+            frequency = Fraction(
+                sum(1 for c in compositions if c[0] == k),
+                len(compositions),
+            )
+            assert pmf.get(k, Fraction(0)) == frequency
+
+    def test_pair_pmf_matches_enumeration(self):
+        total, parts = 8, 3
+        compositions = list(iter_compositions(total, parts))
+        pmf = composition_pair_pmf(total, parts)
+        seen = {}
+        for c in compositions:
+            seen[(c[0], c[1])] = seen.get((c[0], c[1]), 0) + 1
+        for pair, count in seen.items():
+            assert pmf[pair] == Fraction(count, len(compositions))
+        assert sum(pmf.values()) == Fraction(1)
+
+    def test_pair_pmf_two_parts(self):
+        pmf = composition_pair_pmf(5, 2)
+        assert sum(pmf.values()) == Fraction(1)
+        assert pmf[(2, 3)] == Fraction(1, 4)
+
+    def test_rejects_impossible(self):
+        with pytest.raises(AnalysisError):
+            composition_part_pmf(3, 5)
+
+
+class TestMultinomial:
+    @given(st.integers(min_value=0, max_value=24),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30)
+    def test_single_pmf_sums_to_one(self, n, r):
+        assert sum(multinomial_single_pmf(n, r).values()) == Fraction(1)
+
+    @given(st.integers(min_value=0, max_value=16),
+           st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20)
+    def test_pair_pmf_sums_to_one(self, n, r):
+        assert sum(multinomial_pair_pmf(n, r).values()) == Fraction(1)
+
+    def test_pair_marginalizes_to_single(self):
+        n, r = 10, 4
+        pair = multinomial_pair_pmf(n, r)
+        single = multinomial_single_pmf(n, r)
+        for a in range(n + 1):
+            marginal = sum(p for (x, _), p in pair.items() if x == a)
+            assert marginal == single[a]
+
+    def test_single_mean_is_n_over_r(self):
+        n, r = 12, 4
+        pmf = multinomial_single_pmf(n, r)
+        mean = sum(Fraction(a) * p for a, p in pmf.items())
+        assert mean == Fraction(n, r)

@@ -1,0 +1,51 @@
+"""Property tests for the information-theoretic helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.leakage import entropy_bits, mutual_information_bits
+
+pmf_weights = st.lists(st.integers(min_value=1, max_value=100),
+                       min_size=1, max_size=12)
+
+
+@given(pmf_weights)
+@settings(max_examples=50)
+def test_entropy_bounded_by_log_support(weights):
+    import math
+
+    pmf = {i: w for i, w in enumerate(weights)}
+    h = entropy_bits(pmf)
+    assert -1e-9 <= h <= math.log2(len(weights)) + 1e-9
+
+
+@given(pmf_weights)
+@settings(max_examples=40)
+def test_mi_of_independent_product_is_zero(weights):
+    px = {i: w for i, w in enumerate(weights)}
+    py = {0: 1, 1: 3}
+    joint = {(x, y): wx * wy for x, wx in px.items()
+             for y, wy in py.items()}
+    assert mutual_information_bits(joint) < 1e-9
+
+
+@given(pmf_weights)
+@settings(max_examples=40)
+def test_mi_of_identity_channel_equals_entropy(weights):
+    pmf = {i: w for i, w in enumerate(weights)}
+    joint = {(i, i): w for i, w in pmf.items()}
+    assert abs(mutual_information_bits(joint) - entropy_bits(pmf)) < 1e-9
+
+
+@given(pmf_weights, st.data())
+@settings(max_examples=40)
+def test_mi_nonnegative_and_bounded(weights, data):
+    ys = data.draw(st.lists(st.integers(min_value=0, max_value=3),
+                            min_size=len(weights),
+                            max_size=len(weights)))
+    joint = {}
+    for i, (w, y) in enumerate(zip(weights, ys)):
+        joint[(i, y)] = joint.get((i, y), 0) + w
+    mi = mutual_information_bits(joint)
+    marginal_x = {i: w for i, w in enumerate(weights)}
+    assert 0.0 <= mi <= entropy_bits(marginal_x) + 1e-9

@@ -1,0 +1,135 @@
+"""Tests for the closed-form rho model (Section V-B).
+
+The strongest check: a brute-force computation of rho for tiny machines —
+enumerating every thread→block assignment, every subwarp composition, and
+every thread permutation in exact arithmetic — must match the closed forms
+that marginalize analytically.
+"""
+
+from fractions import Fraction
+from itertools import permutations, product
+
+import pytest
+
+from repro.analysis.combinatorics import iter_compositions
+from repro.analysis.model import rho_fss, rho_fss_rts, rho_rss_rts
+from repro.core.sizing import fixed_sizes
+from repro.errors import AnalysisError
+
+
+def _u_count(blocks, sids):
+    return len(set(zip(sids, blocks)))
+
+
+def _sid_vector(sizes):
+    out = []
+    for sid, size in enumerate(sizes):
+        out.extend([sid] * size)
+    return tuple(out)
+
+
+def _expected_u_given_assignment(blocks, size_vectors):
+    """E[U | blocks] and E[U^2 | blocks] averaged over all (composition,
+    permutation) draws, each composition equally likely."""
+    n = len(blocks)
+    total_u = Fraction(0)
+    total_u2 = Fraction(0)
+    count = 0
+    for sizes in size_vectors:
+        base = _sid_vector(sizes)
+        for perm in permutations(range(n)):
+            sids = [0] * n
+            for slot, tid in enumerate(perm):
+                sids[tid] = base[slot]
+            u = _u_count(blocks, sids)
+            total_u += u
+            total_u2 += u * u
+            count += 1
+    return total_u / count, total_u2 / count
+
+
+def brute_force_rho(num_threads, num_blocks, size_vectors):
+    """Exact rho for a mimicking attacker under the given sizing draws."""
+    mean_u = Fraction(0)
+    mean_u2 = Fraction(0)
+    mean_uuhat = Fraction(0)
+    prob = Fraction(1, num_blocks ** num_threads)
+    for blocks in product(range(num_blocks), repeat=num_threads):
+        e_u, e_u2 = _expected_u_given_assignment(blocks, size_vectors)
+        mean_u += prob * e_u
+        mean_u2 += prob * e_u2
+        # Victim and attacker draw independently given the assignment.
+        mean_uuhat += prob * e_u * e_u
+    var_u = mean_u2 - mean_u * mean_u
+    if var_u == 0:
+        return Fraction(0)
+    return (mean_uuhat - mean_u * mean_u) / var_u
+
+
+class TestBruteForceAgreement:
+    @pytest.mark.parametrize("n,r,m", [(4, 2, 2), (4, 3, 2), (4, 2, 4),
+                                       (6, 2, 2), (6, 2, 3)])
+    def test_fss_rts_matches_brute_force(self, n, r, m):
+        size_vectors = [fixed_sizes(n, m)]
+        assert rho_fss_rts(n, r, m) == brute_force_rho(n, r, size_vectors)
+
+    @pytest.mark.parametrize("n,r,m", [(4, 2, 2), (4, 3, 2), (5, 2, 2),
+                                       (5, 2, 3)])
+    def test_rss_rts_matches_brute_force(self, n, r, m):
+        size_vectors = list(iter_compositions(n, m))
+        assert rho_rss_rts(n, r, m) == brute_force_rho(n, r, size_vectors)
+
+
+class TestBoundaryBehaviour:
+    def test_fss_is_one_except_full_split(self):
+        for m in (1, 2, 4, 8, 16):
+            assert rho_fss(32, 16, m) == 1
+        assert rho_fss(32, 16, 32) == 0
+
+    def test_single_subwarp_rts_is_transparent(self):
+        # M = 1: the permutation cannot change anything; rho = 1.
+        assert rho_fss_rts(32, 16, 1) == 1
+        assert rho_rss_rts(32, 16, 1) == 1
+
+    def test_full_split_has_no_signal(self):
+        assert rho_fss_rts(32, 16, 32) == 0
+        assert rho_rss_rts(32, 16, 32) == 0
+
+    def test_rho_decreases_with_subwarps_fss_rts(self):
+        values = [float(rho_fss_rts(32, 16, m)) for m in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(AnalysisError):
+            rho_fss_rts(32, 16, 0)
+        with pytest.raises(AnalysisError):
+            rho_rss_rts(0, 16, 1)
+
+
+class TestPaperValues:
+    """Table II to the paper's printed precision."""
+
+    @pytest.mark.parametrize("m,expected", [
+        (2, 0.41), (4, 0.20), (8, 0.09), (16, 0.03),
+    ])
+    def test_fss_rts_rho(self, m, expected):
+        assert float(rho_fss_rts(32, 16, m)) == pytest.approx(expected,
+                                                              abs=0.005)
+
+    @pytest.mark.parametrize("m,expected", [
+        (2, 0.20), (4, 0.15), (8, 0.11), (16, 0.05),
+    ])
+    def test_rss_rts_rho(self, m, expected):
+        assert float(rho_rss_rts(32, 16, m)) == pytest.approx(expected,
+                                                              abs=0.005)
+
+    def test_headline_961(self):
+        rho = float(rho_fss_rts(32, 16, 16))
+        assert 1.0 / rho ** 2 == pytest.approx(961, abs=1.0)
+
+    def test_crossover_between_mechanisms(self):
+        # RSS+RTS stronger at M in {2, 4}; FSS+RTS stronger at {8, 16}.
+        for m in (2, 4):
+            assert rho_rss_rts(32, 16, m) < rho_fss_rts(32, 16, m)
+        for m in (8, 16):
+            assert rho_fss_rts(32, 16, m) < rho_rss_rts(32, 16, m)

@@ -1,0 +1,71 @@
+"""Tests for the Monte-Carlo correlation estimator."""
+
+import pytest
+
+from repro.analysis.model import rho_fss_rts, rho_rss_rts
+from repro.analysis.montecarlo import empirical_access_moments, empirical_rho
+from repro.analysis.occupancy import occupancy_mean, occupancy_variance
+from repro.core.policies import FSSPolicy, RSSPolicy, make_policy
+from repro.errors import AnalysisError
+from repro.rng import RngStream
+
+
+class TestDeterministicPolicies:
+    def test_fss_is_perfectly_correlated(self, rng):
+        # A deterministic mechanism is exactly mimicked by its attack.
+        rho = empirical_rho(FSSPolicy(4), 16, 400, rng)
+        assert rho == pytest.approx(1.0)
+
+    def test_nocoal_has_no_correlation(self, rng):
+        # Constant 32 accesses: zero variance, correlation defined as 0.
+        rho = empirical_rho(make_policy("nocoal"), 16, 200, rng)
+        assert rho == 0.0
+
+
+class TestAgainstTheory:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_fss_rts_matches_closed_form(self, m):
+        rng = RngStream(77, f"mc-fssrts-{m}")
+        mc = empirical_rho(FSSPolicy(m, rts=True), 16, 12000, rng)
+        assert mc == pytest.approx(float(rho_fss_rts(32, 16, m)), abs=0.04)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_rss_rts_matches_closed_form(self, m):
+        rng = RngStream(78, f"mc-rssrts-{m}")
+        mc = empirical_rho(RSSPolicy(m, rts=True), 16, 12000, rng)
+        assert mc == pytest.approx(float(rho_rss_rts(32, 16, m)), abs=0.04)
+
+    def test_moments_match_occupancy_for_baseline(self):
+        rng = RngStream(79, "mc-moments")
+        mean, var = empirical_access_moments(make_policy("baseline"), 16,
+                                             12000, rng)
+        assert mean == pytest.approx(float(occupancy_mean(32, 16)),
+                                     abs=0.05)
+        assert var == pytest.approx(float(occupancy_variance(32, 16)),
+                                    rel=0.15)
+
+
+class TestMismatchedAttacker:
+    def test_baseline_attacker_vs_fss_machine_loses_correlation(self):
+        """Fig 7b's mechanism: the M=1 model mispredicts an FSS machine."""
+        rng = RngStream(80, "mc-mismatch")
+        matched = empirical_rho(FSSPolicy(8), 16, 3000, rng)
+        mismatched = empirical_rho(
+            FSSPolicy(8), 16, 3000, rng.child("x"),
+            attacker_policy=make_policy("baseline"),
+        )
+        assert matched == pytest.approx(1.0)
+        assert mismatched < 0.9
+
+    def test_standalone_rss_leaks_less_than_fss(self):
+        """The configuration the paper evaluates only empirically."""
+        rng = RngStream(81, "mc-rss")
+        rho = empirical_rho(RSSPolicy(4), 16, 6000, rng)
+        assert rho < 0.7
+
+
+def test_requires_two_samples(rng):
+    with pytest.raises(AnalysisError):
+        empirical_rho(FSSPolicy(2), 16, 1, rng)
+    with pytest.raises(AnalysisError):
+        empirical_access_moments(FSSPolicy(2), 16, 1, rng)

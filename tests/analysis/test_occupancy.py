@@ -1,0 +1,79 @@
+"""Tests for the Definition 1 occupancy distribution."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.occupancy import (
+    occupancy_mean,
+    occupancy_mean_closed_form,
+    occupancy_pmf,
+    occupancy_second_moment,
+    occupancy_variance,
+)
+from repro.errors import AnalysisError
+
+small_m = st.integers(min_value=1, max_value=12)
+small_n = st.integers(min_value=1, max_value=12)
+
+
+class TestPmf:
+    @given(small_m, small_n)
+    @settings(max_examples=40)
+    def test_sums_to_one(self, m, n):
+        assert sum(occupancy_pmf(m, n).values()) == Fraction(1)
+
+    @given(small_m, small_n)
+    @settings(max_examples=40)
+    def test_support(self, m, n):
+        pmf = occupancy_pmf(m, n)
+        assert min(pmf) >= 1
+        assert max(pmf) <= min(m, n)
+
+    def test_single_thread_always_one_access(self):
+        assert occupancy_pmf(1, 16) == {1: Fraction(1)}
+
+    def test_matches_brute_force_enumeration(self):
+        """Exhaustive check against all n^m assignments for a small case."""
+        m, n = 4, 3
+        counts = {}
+        for assignment in product(range(n), repeat=m):
+            k = len(set(assignment))
+            counts[k] = counts.get(k, 0) + 1
+        expected = {k: Fraction(v, n ** m) for k, v in counts.items()}
+        assert occupancy_pmf(m, n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            occupancy_pmf(0, 4)
+
+
+class TestMoments:
+    @given(small_m, small_n)
+    @settings(max_examples=40)
+    def test_mean_matches_closed_form(self, m, n):
+        assert occupancy_mean(m, n) == occupancy_mean_closed_form(m, n)
+
+    @given(small_m, small_n)
+    @settings(max_examples=40)
+    def test_variance_nonnegative(self, m, n):
+        assert occupancy_variance(m, n) >= 0
+
+    def test_paper_configuration_values(self):
+        """N_{32,16}: mean ~13.9, the baseline warp's expected accesses."""
+        mean = float(occupancy_mean(32, 16))
+        assert mean == pytest.approx(16 * (1 - (15 / 16) ** 32), abs=1e-12)
+        assert 13.8 < mean < 14.0
+        assert 0.9 < float(occupancy_variance(32, 16)) ** 0.5 < 1.2
+
+    def test_saturation(self):
+        # Many threads over few blocks: variance collapses toward zero.
+        assert float(occupancy_variance(64, 2)) < 1e-4
+
+    def test_second_moment_consistency(self):
+        m, n = 8, 5
+        assert occupancy_second_moment(m, n) \
+            == occupancy_variance(m, n) + occupancy_mean(m, n) ** 2

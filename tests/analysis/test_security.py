@@ -1,0 +1,71 @@
+"""Tests for the Table II generator."""
+
+import math
+
+import pytest
+
+from repro.analysis.security import (
+    PAPER_TABLE2,
+    SecurityRow,
+    normalized_samples,
+    security_table,
+)
+from repro.errors import AnalysisError
+
+
+class TestNormalizedSamples:
+    def test_baseline_is_one(self):
+        assert normalized_samples(1.0) == 1.0
+
+    def test_inverse_square(self):
+        assert normalized_samples(0.5) == pytest.approx(4.0)
+
+    def test_zero_is_infinite(self):
+        assert math.isinf(normalized_samples(0.0))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            normalized_samples(2.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return {row.num_subwarps: row for row in security_table()}
+
+    def test_rho_matches_paper_printed_values(self, table):
+        for m, expected in PAPER_TABLE2.items():
+            rho_fss, rho_fss_rts, rho_rss_rts = expected["rho"]
+            assert table[m].rho_fss == pytest.approx(rho_fss, abs=0.005)
+            assert table[m].rho_fss_rts == pytest.approx(rho_fss_rts,
+                                                         abs=0.005)
+            assert table[m].rho_rss_rts == pytest.approx(rho_rss_rts,
+                                                         abs=0.005)
+
+    def test_s_matches_paper_printed_values(self, table):
+        for m, expected in PAPER_TABLE2.items():
+            s_fss, s_fss_rts, s_rss_rts = expected["s"]
+            for ours, paper in [(table[m].s_fss, s_fss),
+                                (table[m].s_fss_rts, s_fss_rts),
+                                (table[m].s_rss_rts, s_rss_rts)]:
+                if math.isinf(paper):
+                    assert math.isinf(ours)
+                else:
+                    # The paper prints S rounded from unrounded rho.
+                    assert ours == pytest.approx(paper, rel=0.03)
+
+    def test_headline_improvement_range(self, table):
+        """Abstract: 24x to 961x security improvement."""
+        finite = [
+            s for m in (2, 4, 8, 16)
+            for s in (table[m].s_fss_rts, table[m].s_rss_rts)
+        ]
+        assert min(finite) == pytest.approx(6.0, abs=0.1)  # FSS+RTS M=2
+        assert max(finite) == pytest.approx(961, abs=1)
+
+    def test_custom_machine_parameters(self):
+        rows = security_table(num_threads=8, num_blocks=4,
+                              subwarp_counts=(1, 2, 8))
+        assert [r.num_subwarps for r in rows] == [1, 2, 8]
+        assert rows[0].rho_fss_rts == 1.0
+        assert rows[-1].rho_fss_rts == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the Pearson correlation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.correlation import pearson, rowwise_pearson
+from repro.errors import InsufficientSamplesError
+
+# Integer-valued samples (access counts / cycle counts) cast to float:
+# the attack's actual data; avoids denormal-underflow corner cases that
+# numpy and the textbook formula resolve differently.
+vectors = st.lists(
+    st.integers(min_value=-10**6, max_value=10**6).map(float),
+    min_size=3, max_size=40,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_defined_as_zero(self):
+        assert pearson([5, 5, 5], [1, 2, 3]) == 0.0
+        assert pearson([1, 2, 3], [7, 7, 7]) == 0.0
+
+    @given(vectors, st.data())
+    @settings(max_examples=40)
+    def test_matches_numpy(self, xs, data):
+        ys = data.draw(st.lists(
+            st.integers(min_value=-10**6, max_value=10**6).map(float),
+            min_size=len(xs), max_size=len(xs)))
+        ours = pearson(xs, ys)
+        if np.std(xs) == 0 or np.std(ys) == 0:
+            assert ours == 0.0
+        else:
+            expected = np.corrcoef(xs, ys)[0, 1]
+            assert ours == pytest.approx(expected, abs=1e-9)
+
+    @given(vectors)
+    @settings(max_examples=30)
+    def test_bounded(self, xs):
+        shifted = [x + 1 for x in xs]
+        assert -1.0 - 1e-9 <= pearson(xs, shifted) <= 1.0 + 1e-9
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InsufficientSamplesError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(InsufficientSamplesError):
+            pearson([1], [1])
+
+
+class TestRowwise:
+    def test_matches_scalar_per_row(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(16, 50))
+        y = rng.normal(size=50)
+        rows = rowwise_pearson(matrix, y)
+        for i in range(16):
+            assert rows[i] == pytest.approx(pearson(matrix[i], y), abs=1e-9)
+
+    def test_zero_variance_rows(self):
+        matrix = np.vstack([np.ones(10), np.arange(10)])
+        y = np.arange(10, dtype=float)
+        rows = rowwise_pearson(matrix, y)
+        assert rows[0] == 0.0
+        assert rows[1] == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(InsufficientSamplesError):
+            rowwise_pearson(np.ones((2, 3)), np.ones(4))
+        with pytest.raises(InsufficientSamplesError):
+            rowwise_pearson(np.ones(6), np.ones(6))
+        with pytest.raises(InsufficientSamplesError):
+            rowwise_pearson(np.ones((2, 1)), np.ones(1))

@@ -1,0 +1,98 @@
+"""Tests for the vectorized access estimator."""
+
+import numpy as np
+import pytest
+
+from repro.attack.estimator import AccessEstimator
+from repro.core.policies import FSSPolicy, RSSPolicy, make_policy
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+
+def cipher_batch(num_samples=12, lines=32, seed=5):
+    rng = RngStream(seed, "batch")
+    return [[bytes(rng.random_bytes(16)) for _ in range(lines)]
+            for _ in range(num_samples)]
+
+
+class TestAccessMatrix:
+    def test_shape(self):
+        estimator = AccessEstimator(make_policy("baseline"))
+        matrix = estimator.access_matrix(cipher_batch(), 0)
+        assert matrix.shape == (256, 12)
+
+    def test_matches_reference_path_for_deterministic_models(self):
+        batch = cipher_batch()
+        for m in (1, 2, 8):
+            estimator = AccessEstimator(FSSPolicy(m))
+            matrix = estimator.access_matrix(batch, 3)
+            reference = AccessEstimator(FSSPolicy(m))
+            for guess in (0, 17, 255):
+                for n, sample in enumerate(batch):
+                    assert matrix[guess, n] == reference.estimate_sample(
+                        sample, 3, guess
+                    )
+
+    def test_counts_within_bounds(self):
+        estimator = AccessEstimator(FSSPolicy(4))
+        matrix = estimator.access_matrix(cipher_batch(), 0)
+        assert matrix.min() >= 1
+        assert matrix.max() <= 32
+
+    def test_multiwarp_samples(self):
+        batch = cipher_batch(num_samples=4, lines=96)
+        estimator = AccessEstimator(make_policy("baseline"))
+        matrix = estimator.access_matrix(batch, 0)
+        # Up to 16 blocks per warp, 3 warps.
+        assert matrix.max() <= 48
+        assert matrix.min() >= 3
+
+    def test_prepare_fixes_randomized_draws(self):
+        batch = cipher_batch()
+        rng = RngStream(9, "attacker")
+        estimator = AccessEstimator(RSSPolicy(4, rts=True), rng=rng)
+        estimator.prepare(batch)
+        a = estimator.access_matrix(batch, 0)
+        b = estimator.access_matrix(batch, 0)
+        # Same prepared draws -> identical matrices.
+        assert np.array_equal(a, b)
+
+    def test_randomized_model_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            AccessEstimator(RSSPolicy(4))
+
+    def test_batch_shape_validation(self):
+        estimator = AccessEstimator(make_policy("baseline"))
+        with pytest.raises(ConfigurationError):
+            estimator.access_matrix([], 0)
+        with pytest.raises(ConfigurationError):
+            estimator.access_matrix(cipher_batch(), 16)
+        ragged = cipher_batch(4)
+        ragged[2] = ragged[2][:16]
+        with pytest.raises(ConfigurationError):
+            estimator.access_matrix(ragged, 0)
+
+
+class TestVictimConsistency:
+    """With the correct guess and the baseline machine, the estimator must
+    reproduce the victim's per-byte access counts exactly."""
+
+    def test_correct_guess_row_reconstructs_victim_counts(self, test_key):
+        from repro.workloads.plaintext import random_plaintexts
+        from repro.workloads.server import EncryptionServer
+
+        server = EncryptionServer(test_key, make_policy("baseline"),
+                                  counts_only=True)
+        plaintexts = random_plaintexts(6, 32, RngStream(2, "pt"))
+        records = server.encrypt_batch(plaintexts)
+        ciphertexts = [r.ciphertext_lines for r in records]
+        k10 = server.last_round_key
+
+        estimator = AccessEstimator(make_policy("baseline"))
+        estimator.prepare(ciphertexts)
+        per_byte_total = np.zeros(len(records), dtype=int)
+        for j in range(16):
+            matrix = estimator.access_matrix(ciphertexts, j)
+            per_byte_total += matrix[k10[j]]
+        observed = np.array([r.last_round_accesses for r in records])
+        assert np.array_equal(per_byte_total, observed)

@@ -1,0 +1,53 @@
+"""Tests for num-subwarps inference from timing."""
+
+import pytest
+
+from repro.attack.infer import CalibrationProfile, SubwarpCountInferrer
+from repro.core.policies import make_policy
+from repro.errors import AttackError, ConfigurationError
+from repro.rng import RngStream
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+
+class TestCalibrationProfile:
+    def test_classify_picks_nearest_mean(self):
+        profile = CalibrationProfile("fss", {1: 100.0, 2: 200.0, 4: 400.0})
+        assert profile.classify([110.0, 95.0]) == 1
+        assert profile.classify([390.0]) == 4
+
+    def test_classify_rejects_empty(self):
+        profile = CalibrationProfile("fss", {1: 100.0})
+        with pytest.raises(AttackError):
+            profile.classify([])
+
+    def test_margin_reflects_confidence(self):
+        profile = CalibrationProfile("fss", {1: 100.0, 2: 200.0})
+        near = profile.margin([100.0])
+        boundary = profile.margin([150.0])
+        assert near > boundary
+        assert boundary == pytest.approx(0.0)
+
+
+class TestInferrer:
+    def test_rejects_no_candidates(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpCountInferrer(candidates=())
+
+    def test_calibration_orders_by_m(self):
+        inferrer = SubwarpCountInferrer(candidates=(1, 4, 32))
+        profile = inferrer.calibrate(RngStream(8, "cal"), samples=3)
+        assert profile.mean_time[1] < profile.mean_time[4] \
+            < profile.mean_time[32]
+
+    def test_end_to_end_inference(self):
+        """An attacker with a replica recovers the victim's secret M."""
+        inferrer = SubwarpCountInferrer(candidates=(1, 4, 32))
+        profile = inferrer.calibrate(RngStream(8, "cal"), samples=3)
+
+        victim_key = bytes(RngStream(8, "victim-key").random_bytes(16))
+        victim = EncryptionServer(victim_key, make_policy("fss", 4))
+        plaintexts = random_plaintexts(3, 32, RngStream(8, "victim-pt"))
+        times = [victim.encrypt(p).total_time for p in plaintexts]
+
+        assert profile.classify(times) == 4

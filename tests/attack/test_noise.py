@@ -1,0 +1,64 @@
+"""Tests for measurement-noise modelling."""
+
+import numpy as np
+import pytest
+
+from repro.attack.correlation import pearson
+from repro.attack.noise import (
+    add_gaussian_noise,
+    correlation_attenuation,
+    sample_inflation,
+)
+from repro.errors import AttackError
+from repro.rng import RngStream
+
+
+class TestAttenuationFormulas:
+    def test_clean_channel(self):
+        assert correlation_attenuation(0.0) == 1.0
+        assert sample_inflation(0.0) == 1.0
+
+    def test_unit_noise_halves_variance_share(self):
+        assert correlation_attenuation(1.0) == pytest.approx(1 / 2 ** 0.5)
+        assert sample_inflation(1.0) == pytest.approx(2.0)
+
+    def test_inflation_is_inverse_square(self):
+        for ratio in (0.5, 2.0, 3.0):
+            assert sample_inflation(ratio) == pytest.approx(
+                1.0 / correlation_attenuation(ratio) ** 2
+            )
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(AttackError):
+            correlation_attenuation(-1.0)
+
+
+class TestNoiseInjection:
+    def test_zero_ratio_returns_copy(self):
+        values = [1.0, 2.0, 3.0]
+        noisy = add_gaussian_noise(values, 0.0, RngStream(1, "n"))
+        assert np.array_equal(noisy, values)
+
+    def test_noise_scale_tracks_signal(self):
+        rng = RngStream(1, "n2")
+        signal = rng.normal(0, 10, size=4000)
+        noisy = add_gaussian_noise(signal, 2.0, rng.child("noise"))
+        residual = noisy - signal
+        assert residual.std() == pytest.approx(20.0, rel=0.1)
+
+    def test_empirical_attenuation_matches_formula(self):
+        """The end-to-end check: corr(signal, noisy proxy) attenuates by
+        1/sqrt(1 + ratio^2)."""
+        rng = RngStream(9, "atten")
+        truth = rng.normal(0, 1, size=8000)
+        for ratio in (0.5, 1.0, 2.0):
+            noisy = add_gaussian_noise(truth, ratio,
+                                       rng.child(f"r{ratio}"))
+            measured = pearson(truth, noisy)
+            assert measured == pytest.approx(
+                correlation_attenuation(ratio), abs=0.03
+            )
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(AttackError):
+            add_gaussian_noise([1.0], 1.0, RngStream(1, "n"))

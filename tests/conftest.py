@@ -1,0 +1,35 @@
+"""Shared fixtures for the RCoal reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aes.ttable import clear_trace_cache
+from repro.gpu.config import GPUConfig
+from repro.rng import RngStream
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Isolate the AES trace memoization between tests."""
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A deterministic RNG stream for tests."""
+    return RngStream(1234, "test")
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """The paper's Table I machine."""
+    return GPUConfig()
+
+
+@pytest.fixture
+def test_key() -> bytes:
+    """A fixed AES-128 key."""
+    return bytes.fromhex("000102030405060708090a0b0c0d0e0f")

@@ -1,0 +1,67 @@
+"""Tests for thread-to-subwarp assignment (in-order vs RTS)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import in_order_assignment, random_assignment
+from repro.rng import RngStream
+
+size_lists = st.lists(st.integers(min_value=1, max_value=8),
+                      min_size=1, max_size=8)
+
+
+class TestInOrder:
+    def test_consecutive_blocks(self):
+        partition = in_order_assignment((2, 3, 1))
+        assert partition.assignment == (0, 0, 1, 1, 1, 2)
+
+    def test_matches_paper_description(self):
+        # "first group of threads will belong to the first subwarp with
+        # sid set to 0 and so on" (Section IV-D).
+        partition = in_order_assignment((16, 16))
+        assert partition.threads_of(0) == tuple(range(16))
+        assert partition.threads_of(1) == tuple(range(16, 32))
+
+
+class TestRandomAssignment:
+    @given(size_lists)
+    @settings(max_examples=40)
+    def test_preserves_sizes(self, sizes):
+        rng = RngStream(11, "rts")
+        partition = random_assignment(sizes, rng)
+        assert partition.sizes == tuple(sizes)
+        counts = Counter(partition.assignment)
+        for sid, size in enumerate(sizes):
+            assert counts[sid] == size
+
+    def test_draws_differ_between_launches(self):
+        rng = RngStream(11, "rts-diff")
+        draws = {random_assignment((8, 8, 8, 8), rng).assignment
+                 for _ in range(20)}
+        assert len(draws) > 15  # collisions astronomically unlikely
+
+    def test_reproducible_for_same_stream_state(self):
+        a = random_assignment((16, 16), RngStream(3, "same"))
+        b = random_assignment((16, 16), RngStream(3, "same"))
+        assert a.assignment == b.assignment
+
+    def test_every_thread_can_land_anywhere(self):
+        """Thread 0 should visit both subwarps across draws (RTS breaks
+        the in-order mapping)."""
+        rng = RngStream(5, "spread")
+        sids_of_thread0 = {random_assignment((16, 16), rng).assignment[0]
+                           for _ in range(64)}
+        assert sids_of_thread0 == {0, 1}
+
+    def test_uniformity_of_single_slot(self):
+        """With sizes (1, 31), thread 0 lands in the singleton subwarp
+        with probability 1/32."""
+        rng = RngStream(5, "uniform-slot")
+        hits = sum(
+            1 for _ in range(3200)
+            if random_assignment((1,) + (31,), rng).assignment[0] == 0
+        )
+        assert abs(hits - 100) < 50  # ~5 sigma of binomial(3200, 1/32)

@@ -1,0 +1,62 @@
+"""Tests for the RCoal_Score metric (Equation 7)."""
+
+import math
+
+import pytest
+
+from repro.core.score import rcoal_score, security_strength
+from repro.errors import ConfigurationError
+
+
+class TestSecurityStrength:
+    def test_inverse_square(self):
+        assert security_strength(0.5) == pytest.approx(4.0)
+        assert security_strength(0.1) == pytest.approx(100.0)
+
+    def test_sign_independent(self):
+        assert security_strength(-0.5) == security_strength(0.5)
+
+    def test_zero_correlation_is_infinite_security(self):
+        assert math.isinf(security_strength(0.0))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            security_strength(1.5)
+
+
+class TestRcoalScore:
+    def test_security_oriented_weights(self):
+        # S = 16, time = 2: score = 16 / 2 = 8.
+        assert rcoal_score(0.25, 2.0, a=1, b=1) == pytest.approx(8.0)
+
+    def test_performance_oriented_weights_penalize_time(self):
+        fast = rcoal_score(0.25, 1.5, a=1, b=20)
+        slow = rcoal_score(0.25, 2.0, a=1, b=20)
+        assert fast > slow
+        # b=20 punishes the 33% slowdown by (2/1.5)^20 ~ 316x.
+        assert fast / slow == pytest.approx((2.0 / 1.5) ** 20)
+
+    def test_security_exponent(self):
+        assert rcoal_score(0.1, 1.0, a=2, b=0) == pytest.approx(100.0 ** 2)
+
+    def test_zero_correlation_scores_infinite(self):
+        assert math.isinf(rcoal_score(0.0, 2.0))
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ConfigurationError):
+            rcoal_score(0.5, 0.0)
+
+
+class TestPaperTradeoff:
+    """The qualitative conclusion of Fig 17 follows from the metric."""
+
+    def test_better_security_wins_at_b1(self):
+        # FSS+RTS at M=16: lower corr, higher time than RSS+RTS.
+        fss_rts = rcoal_score(0.03, 2.06, a=1, b=1)
+        rss_rts = rcoal_score(0.05, 2.02, a=1, b=1)
+        assert fss_rts > rss_rts
+
+    def test_better_performance_wins_at_b20(self):
+        fss_rts = rcoal_score(0.09, 1.95, a=1, b=20)
+        rss_rts = rcoal_score(0.11, 1.82, a=1, b=20)
+        assert rss_rts > fss_rts

@@ -1,0 +1,110 @@
+"""Tests for selective RCoal (Section VII future work)."""
+
+import pytest
+
+from repro.aes.key_schedule import NUM_ROUNDS
+from repro.core.policies import FSSPolicy, RSSPolicy, make_policy
+from repro.core.selective import SelectivePartition, SelectiveRCoalPolicy
+from repro.errors import ConfigurationError
+from repro.gpu.engine import RoundAwareSidMap
+from repro.rng import RngStream
+
+
+class TestPolicy:
+    def test_wraps_base_parameters(self):
+        policy = SelectiveRCoalPolicy(FSSPolicy(8))
+        assert policy.num_subwarps == 8
+        assert policy.name == "selective_fss"
+        assert not policy.is_randomized
+
+    def test_randomization_follows_base(self):
+        assert SelectiveRCoalPolicy(RSSPolicy(4)).is_randomized
+
+    def test_default_protects_last_round_only(self):
+        policy = SelectiveRCoalPolicy(FSSPolicy(4))
+        assert policy.protected_rounds == frozenset({NUM_ROUNDS})
+
+    def test_rejects_empty_or_invalid_rounds(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveRCoalPolicy(FSSPolicy(4), protected_rounds=())
+        with pytest.raises(ConfigurationError):
+            SelectiveRCoalPolicy(FSSPolicy(4), protected_rounds=(0,))
+        with pytest.raises(ConfigurationError):
+            SelectiveRCoalPolicy(FSSPolicy(4), protected_rounds=(11,))
+
+    def test_describe_lists_rounds(self):
+        policy = SelectiveRCoalPolicy(FSSPolicy(4),
+                                      protected_rounds=(9, 10))
+        assert "rounds=9,10" in policy.describe()
+
+
+class TestPartition:
+    def test_round_resolution(self):
+        policy = SelectiveRCoalPolicy(FSSPolicy(4))
+        partition = policy.draw()
+        assert isinstance(partition, SelectivePartition)
+        # Last round: the protected (4-subwarp) mapping.
+        last = partition.assignment_for_round(NUM_ROUNDS)
+        assert len(set(last)) == 4
+        # Any other round, and outside rounds: the baseline mapping.
+        assert set(partition.assignment_for_round(3)) == {0}
+        assert set(partition.assignment_for_round(None)) == {0}
+
+    def test_engine_map_is_round_aware(self):
+        policy = SelectiveRCoalPolicy(FSSPolicy(4))
+        sid_map = policy.draw().assignment
+        assert isinstance(sid_map, RoundAwareSidMap)
+        assert len(sid_map) == 32
+        assert sid_map.for_round(NUM_ROUNDS) \
+            != sid_map.for_round(NUM_ROUNDS - 1)
+
+    def test_randomized_base_draws_differ(self):
+        policy = SelectiveRCoalPolicy(RSSPolicy(4, rts=True))
+        rng = RngStream(3, "sel")
+        a = policy.draw(rng)
+        b = policy.draw(rng)
+        assert a.protected.assignment != b.protected.assignment
+
+
+class TestEndToEnd:
+    def test_selective_is_cheaper_with_same_last_round_counts(self,
+                                                              test_key):
+        """The design goal: same last-round behaviour, less total cost."""
+        from repro.workloads.plaintext import random_plaintexts
+        from repro.workloads.server import EncryptionServer
+
+        plaintext = random_plaintexts(1, 32, RngStream(4, "pt"))[0]
+
+        full = EncryptionServer(test_key, FSSPolicy(8))
+        selective = EncryptionServer(
+            test_key, SelectiveRCoalPolicy(FSSPolicy(8))
+        )
+        full_record = full.encrypt(plaintext)
+        selective_record = selective.encrypt(plaintext)
+
+        # Identical (deterministic FSS) last-round coalescing...
+        assert selective_record.last_round_accesses \
+            == full_record.last_round_accesses
+        assert selective_record.last_round_byte_accesses \
+            == full_record.last_round_byte_accesses
+        # ...at a fraction of the cost elsewhere.
+        assert selective_record.total_accesses \
+            < full_record.total_accesses
+        assert selective_record.total_time < full_record.total_time
+
+    def test_counts_only_matches_full_sim_for_selective(self, test_key):
+        from repro.workloads.plaintext import random_plaintexts
+        from repro.workloads.server import EncryptionServer
+
+        plaintext = random_plaintexts(1, 32, RngStream(4, "pt"))[0]
+        kwargs = dict(rng=RngStream(6, "v"))
+        full = EncryptionServer(
+            test_key, SelectiveRCoalPolicy(RSSPolicy(4, rts=True)),
+            **kwargs)
+        fast = EncryptionServer(
+            test_key, SelectiveRCoalPolicy(RSSPolicy(4, rts=True)),
+            counts_only=True, rng=RngStream(6, "v"))
+        a = full.encrypt(plaintext)
+        b = fast.encrypt(plaintext)
+        assert a.total_accesses == b.total_accesses
+        assert a.last_round_byte_accesses == b.last_round_byte_accesses

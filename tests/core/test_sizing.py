@@ -1,0 +1,89 @@
+"""Tests for FSS/RSS subwarp sizing distributions."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sizing import fixed_sizes, normal_sizes, skewed_sizes
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+
+class TestFixedSizes:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16, 32])
+    def test_paper_configurations_are_equal_splits(self, m):
+        sizes = fixed_sizes(32, m)
+        assert len(sizes) == m
+        assert sum(sizes) == 32
+        assert all(size == 32 // m for size in sizes)
+
+    def test_non_dividing_split_distributes_remainder(self):
+        sizes = fixed_sizes(32, 5)
+        assert sum(sizes) == 32
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            fixed_sizes(0, 1)
+        with pytest.raises(ConfigurationError):
+            fixed_sizes(32, 0)
+        with pytest.raises(ConfigurationError):
+            fixed_sizes(32, 33)
+
+
+class TestSkewedSizes:
+    @given(st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30)
+    def test_always_a_valid_composition(self, m, ):
+        rng = RngStream(99, f"sk-{m}")
+        for _ in range(10):
+            sizes = skewed_sizes(32, m, rng)
+            assert len(sizes) == m
+            assert sum(sizes) == 32
+            assert all(size >= 1 for size in sizes)
+
+    def test_single_subwarp_is_whole_warp(self, rng):
+        assert skewed_sizes(32, 1, rng) == (32,)
+
+    def test_all_threads_split_is_all_ones(self, rng):
+        assert skewed_sizes(32, 32, rng) == (1,) * 32
+
+    def test_uniform_over_compositions_small_case(self):
+        """N=5, M=2 has 4 compositions; all must be ~equally likely."""
+        rng = RngStream(7, "uniformity")
+        counts = Counter(skewed_sizes(5, 2, rng) for _ in range(8000))
+        assert set(counts) == {(1, 4), (2, 3), (3, 2), (4, 1)}
+        for count in counts.values():
+            assert abs(count - 2000) < 200  # ~4.5 sigma
+
+    def test_marginal_is_right_skewed(self):
+        """For M=4 the size-1 bucket outweighs the mean-size bucket tail."""
+        rng = RngStream(7, "skew")
+        sizes = Counter()
+        for _ in range(2000):
+            sizes.update(skewed_sizes(32, 4, rng))
+        assert sizes[1] > sizes[12]
+        assert max(sizes) > 16  # occasionally one very large subwarp
+
+
+class TestNormalSizes:
+    def test_valid_partition(self, rng):
+        for _ in range(50):
+            sizes = normal_sizes(32, 4, rng)
+            assert len(sizes) == 4
+            assert sum(sizes) == 32
+            assert all(size >= 1 for size in sizes)
+
+    def test_concentrates_near_mean(self):
+        rng = RngStream(7, "normal")
+        sizes = Counter()
+        for _ in range(1000):
+            sizes.update(normal_sizes(32, 4, rng))
+        # Fig 9: the normal variant clusters tightly around 32/4 = 8.
+        near_mean = sum(sizes[s] for s in (7, 8, 9))
+        assert near_mean / sum(sizes.values()) > 0.5
+
+    def test_single_subwarp(self, rng):
+        assert normal_sizes(32, 1, rng) == (32,)

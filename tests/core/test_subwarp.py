@@ -1,0 +1,76 @@
+"""Tests for the SubwarpPartition invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.subwarp import SubwarpPartition
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_valid_partition(self):
+        partition = SubwarpPartition(sizes=(2, 2),
+                                     assignment=(0, 0, 1, 1))
+        assert partition.num_subwarps == 2
+        assert partition.warp_size == 4
+
+    def test_rejects_empty_subwarp(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpPartition(sizes=(4, 0), assignment=(0, 0, 0, 0))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpPartition(sizes=(2, 2), assignment=(0, 0, 1))
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpPartition(sizes=(3, 1), assignment=(0, 0, 1, 1))
+
+    def test_rejects_invalid_sid(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpPartition(sizes=(2, 2), assignment=(0, 0, 1, 5))
+
+    def test_rejects_no_subwarps(self):
+        with pytest.raises(ConfigurationError):
+            SubwarpPartition(sizes=(), assignment=())
+
+
+class TestAccessors:
+    def test_threads_of(self):
+        partition = SubwarpPartition(sizes=(1, 3),
+                                     assignment=(1, 0, 1, 1))
+        assert partition.threads_of(0) == (1,)
+        assert partition.threads_of(1) == (0, 2, 3)
+
+    def test_groups_cover_all_threads(self):
+        partition = SubwarpPartition(sizes=(2, 2),
+                                     assignment=(0, 1, 0, 1))
+        groups = partition.groups()
+        flattened = sorted(t for g in groups for t in g)
+        assert flattened == [0, 1, 2, 3]
+
+
+class TestFactories:
+    def test_single(self):
+        partition = SubwarpPartition.single(32)
+        assert partition.num_subwarps == 1
+        assert partition.sizes == (32,)
+
+    def test_per_thread(self):
+        partition = SubwarpPartition.per_thread(32)
+        assert partition.num_subwarps == 32
+        assert all(size == 1 for size in partition.sizes)
+        assert partition.assignment == tuple(range(32))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=8))
+def test_in_order_layout_always_valid(sizes):
+    from repro.core.assignment import in_order_assignment
+
+    partition = in_order_assignment(sizes)
+    assert partition.sizes == tuple(sizes)
+    assert partition.warp_size == sum(sizes)
+    # Assignment is non-decreasing for the in-order layout.
+    assert list(partition.assignment) == sorted(partition.assignment)

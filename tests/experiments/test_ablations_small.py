@@ -1,0 +1,82 @@
+"""Small-scale structural runs of the ablation experiments.
+
+Full-scale runs with shape assertions live in ``benchmarks/``; these
+confirm the harnesses produce well-formed results quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_blocksize,
+    ablation_inference,
+    ablation_leakage,
+    ablation_noise,
+    ablation_rss_dist,
+    ablation_selective,
+)
+from repro.experiments.base import ExperimentContext
+
+SMALL = ExperimentContext(root_seed=77, samples=10)
+
+
+@pytest.fixture(autouse=True)
+def _small_mc(monkeypatch):
+    """Scale the Monte-Carlo-driven ablations down for unit testing."""
+    monkeypatch.setenv("REPRO_SAMPLES", "400")
+    yield
+
+
+class TestBlocksize:
+    def test_monotone_in_r(self):
+        result = ablation_blocksize.run(SMALL)
+        metrics = result.metrics
+        rs = sorted(metrics)
+        series = [metrics[r]["rss_rts"] for r in rs]
+        assert series == sorted(series)
+        assert len(result.rows) == 3
+
+
+class TestLeakage:
+    def test_fss_leaks_most(self):
+        result = ablation_leakage.run(SMALL, subwarp_sweep=(4,))
+        metrics = result.metrics
+        assert metrics["fss"][4] > metrics["fss_rts"][4]
+        assert metrics["fss"][4] > metrics["rss_rts"][4]
+
+
+class TestNoise:
+    def test_monotone_attenuation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "30")
+        result = ablation_noise.run(ExperimentContext(root_seed=77),
+                                    noise_ratios=(0.0, 4.0))
+        metrics = result.metrics
+        assert abs(metrics[4.0]["corr"]) < abs(metrics[0.0]["corr"]) + 0.1
+
+
+class TestInference:
+    def test_small_candidate_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "3")
+        result = ablation_inference.run(ExperimentContext(root_seed=77),
+                                        subwarp_sweep=(1, 32))
+        assert result.metrics["accuracy"] == 1.0
+
+
+class TestSelective:
+    def test_structure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "8")
+        result = ablation_selective.run(ExperimentContext(root_seed=77),
+                                        subwarp_sweep=(8,))
+        full = result.metrics["full"][8]
+        selective = result.metrics["selective"][8]
+        assert selective["time"] < full["time"]
+
+
+class TestRssDist:
+    def test_normal_like_fss_on_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLES", "8")
+        result = ablation_rss_dist.run(ExperimentContext(root_seed=77),
+                                       subwarp_sweep=(8,))
+        metrics = result.metrics
+        assert metrics["normal"][8]["time"] == pytest.approx(
+            metrics["fss"][8]["time"], rel=0.08
+        )

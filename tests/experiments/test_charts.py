@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.charts import bar_chart, result_chart
+
+
+class TestBarChart:
+    def test_scales_to_width(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_negative_values_use_distinct_fill(self):
+        chart = bar_chart(["x"], [-3.0], width=10)
+        assert "▒" in chart
+        assert "█" not in chart
+
+    def test_infinite_values_annotated(self):
+        chart = bar_chart(["m32"], [math.inf])
+        assert "inf" in chart
+
+    def test_zero_only_input(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "0" in chart
+
+    def test_title(self):
+        chart = bar_chart(["a"], [1.0], title="demo")
+        assert chart.splitlines()[0] == "demo"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+
+class TestResultChart:
+    def sample(self):
+        return ExperimentResult(
+            experiment_id="figX", title="t",
+            headers=["M", "corr", "label"],
+            rows=[(1, 1.0, "x"), (2, 0.4, "y")],
+        )
+
+    def test_charts_numeric_column(self):
+        chart = result_chart(self.sample(), column=1)
+        assert "figX: corr" in chart
+        assert chart.count("|") == 2
+
+    def test_rejects_non_numeric_column(self):
+        with pytest.raises(ConfigurationError):
+            result_chart(self.sample(), column=2)
+
+    def test_rejects_bad_column_index(self):
+        with pytest.raises(ConfigurationError):
+            result_chart(self.sample(), column=0)
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig09", "--chart", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09: skewed draws" in out
+        assert "█" in out

@@ -1,0 +1,56 @@
+"""Tests for CSV/JSON export of experiment results."""
+
+import csv
+import io
+import json
+import math
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import to_csv, to_json, write_csv, write_json
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="demo",
+        headers=["m", "rho", "s"],
+        rows=[(1, 1.0, 1.0), (32, 0.0, math.inf)],
+        notes=["a note"],
+    )
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = to_csv(sample_result())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["m", "rho", "s"]
+        assert rows[1] == ["1", "1.0", "1.0"]
+        assert rows[2] == ["32", "0.0", "inf"]
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(sample_result(), tmp_path / "out.csv")
+        assert path.exists()
+        assert "rho" in path.read_text()
+
+
+class TestJson:
+    def test_valid_json_with_inf_encoded(self):
+        document = json.loads(to_json(sample_result()))
+        assert document["experiment_id"] == "figXX"
+        assert document["rows"][1][2] == "inf"
+        assert document["notes"] == ["a note"]
+
+    def test_write_json(self, tmp_path):
+        path = write_json(sample_result(), tmp_path / "out.json")
+        assert json.loads(path.read_text())["title"] == "demo"
+
+
+class TestCliIntegration:
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig09.csv"
+        assert main(["fig09", "--csv", str(target)]) == 0
+        rows = list(csv.reader(io.StringIO(target.read_text())))
+        assert rows[0][0] == "subwarp size"
+        assert len(rows) > 10

@@ -1,0 +1,46 @@
+"""Tests for ASCII rendering."""
+
+import math
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.reporting import format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.1234) == "0.123"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(0.0) == "0"
+
+    def test_special_values(self):
+        assert format_value(math.inf) == "inf"
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(7) == "7"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["a", "long-header"],
+                             [(1, 2.5), (100, 0.25)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long-header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestExperimentResult:
+    def test_render_contains_notes(self):
+        result = ExperimentResult(
+            experiment_id="figXX",
+            title="demo",
+            headers=["x"],
+            rows=[(1,)],
+            notes=["hello"],
+        )
+        rendered = result.render()
+        assert "figXX" in rendered
+        assert "note: hello" in rendered

@@ -1,0 +1,140 @@
+"""Tests for the FR-FCFS GDDR5 controller model."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gpu.address import AddressMap, DecodedAddress
+from repro.gpu.config import DramTiming, GPUConfig
+from repro.gpu.dram import MemoryController
+from repro.gpu.request import AccessKind, MemoryAccess
+
+
+TIMING = DramTiming()  # unscaled memory-clock units for readable numbers
+
+
+def controller(**kwargs) -> MemoryController:
+    return MemoryController(num_banks=4, timing=TIMING, **kwargs)
+
+
+def access(address=0, write=False) -> MemoryAccess:
+    return MemoryAccess(address=address, kind=AccessKind.TABLE_LOAD,
+                        warp_id=0, sm_id=0, is_write=write)
+
+
+def decoded(bank=0, row=0) -> DecodedAddress:
+    return DecodedAddress(partition=0, bank=bank, row=row, block_address=0)
+
+
+class TestServiceTiming:
+    def test_row_miss_then_hit(self):
+        ctl = controller()
+        ctl.enqueue(access(), decoded(bank=0, row=5), cycle=0)
+        _, completion_miss, slot = ctl.start_next(0)
+        ctl.release()
+        # Miss: tRP + tRCD + tCL + burst.
+        assert completion_miss == (TIMING.t_rp + TIMING.t_rcd
+                                   + TIMING.t_cl + TIMING.t_burst)
+
+        ctl.enqueue(access(), decoded(bank=0, row=5), cycle=slot)
+        _, completion_hit, _ = ctl.start_next(slot)
+        ctl.release()
+        assert ctl.stats.row_hits == 1
+        assert ctl.stats.row_misses == 1
+        # Back-to-back hits pipeline at tCCD, bounded below by the bus.
+        assert completion_hit < completion_miss + TIMING.t_cl
+
+    def test_row_hits_pipeline_at_bus_rate(self):
+        ctl = controller()
+        completions = []
+        slot = 0
+        for i in range(4):
+            ctl.enqueue(access(), decoded(bank=0, row=1), cycle=slot)
+            _, completion, slot = ctl.start_next(slot)
+            ctl.release()
+            completions.append(completion)
+        # After the first (miss), consecutive hits are spaced by the
+        # larger of tCCD and the burst, NOT by a full tCL each.
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(gap <= max(TIMING.t_ccd, TIMING.t_burst) + 1
+                   for gap in gaps)
+
+    def test_activate_respects_trc(self):
+        ctl = controller()
+        # Alternate rows in one bank: every access is a miss and activates
+        # can never be closer than tRC.
+        slot = 0
+        activations = []
+        for i in range(3):
+            ctl.enqueue(access(), decoded(bank=0, row=i % 2), cycle=slot)
+            _, completion, slot = ctl.start_next(slot)
+            ctl.release()
+            activations.append(completion)
+        assert activations[1] - activations[0] >= TIMING.t_rc \
+            - TIMING.t_rcd - TIMING.t_cl - TIMING.t_burst
+
+
+class TestFrFcfs:
+    def test_prefers_row_hit_over_older_miss(self):
+        ctl = controller()
+        # Open row 1 in bank 0.
+        ctl.enqueue(access(), decoded(bank=0, row=1), cycle=0)
+        _, _, slot = ctl.start_next(0)
+        ctl.release()
+        # Queue: older miss (bank 0 row 2), younger hit (bank 0 row 1).
+        miss = access(address=100)
+        hit = access(address=200)
+        ctl.enqueue(miss, decoded(bank=0, row=2), cycle=slot)
+        ctl.enqueue(hit, decoded(bank=0, row=1), cycle=slot + 1)
+        chosen, _, _ = ctl.start_next(slot + 2)
+        assert chosen is hit
+
+    def test_falls_back_to_oldest(self):
+        ctl = controller()
+        first = access(address=1)
+        second = access(address=2)
+        ctl.enqueue(first, decoded(bank=0, row=1), cycle=0)
+        ctl.enqueue(second, decoded(bank=1, row=2), cycle=1)
+        chosen, _, _ = ctl.start_next(2)
+        assert chosen is first
+
+
+class TestProtocol:
+    def test_empty_queue_returns_none(self):
+        assert controller().start_next(0) is None
+
+    def test_double_start_rejected(self):
+        ctl = controller()
+        ctl.enqueue(access(), decoded(), 0)
+        ctl.enqueue(access(), decoded(), 0)
+        ctl.start_next(0)
+        with pytest.raises(ProtocolError):
+            ctl.start_next(0)
+
+    def test_release_without_slot_rejected(self):
+        with pytest.raises(ProtocolError):
+            controller().release()
+
+    def test_queue_overflow(self):
+        ctl = controller(queue_capacity=1)
+        ctl.enqueue(access(), decoded(), 0)
+        with pytest.raises(ProtocolError):
+            ctl.enqueue(access(), decoded(), 0)
+
+    def test_write_statistics(self):
+        ctl = controller()
+        ctl.enqueue(access(write=True), decoded(), 0)
+        ctl.start_next(0)
+        ctl.release()
+        assert ctl.stats.writes == 1
+        assert ctl.stats.reads == 0
+
+
+def test_stats_row_hit_rate():
+    ctl = controller()
+    slot = 0
+    for _ in range(4):
+        ctl.enqueue(access(), decoded(bank=0, row=0), cycle=slot)
+        _, _, slot = ctl.start_next(slot)
+        ctl.release()
+    assert ctl.stats.row_hit_rate == pytest.approx(3 / 4)
+    assert ctl.stats.accesses == 4

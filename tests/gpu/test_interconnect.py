@@ -1,0 +1,57 @@
+"""Tests for the crossbar model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.interconnect import Crossbar
+
+
+class TestTraversal:
+    def test_fixed_latency(self):
+        xbar = Crossbar(num_ports=2, latency=8)
+        assert xbar.traverse(0, 100) == 108
+
+    def test_port_serialization(self):
+        xbar = Crossbar(num_ports=1, latency=8)
+        arrivals = [xbar.traverse(0, 0) for _ in range(4)]
+        # One flit per cycle: arrivals are strictly increasing.
+        assert arrivals == [8, 9, 10, 11]
+
+    def test_idle_port_does_not_delay(self):
+        xbar = Crossbar(num_ports=1, latency=8)
+        xbar.traverse(0, 0)
+        assert xbar.traverse(0, 100) == 108
+
+    def test_ports_are_independent(self):
+        xbar = Crossbar(num_ports=2, latency=8)
+        assert xbar.traverse(0, 0) == 8
+        assert xbar.traverse(1, 0) == 8
+
+    def test_multiflit_packets_occupy_port(self):
+        xbar = Crossbar(num_ports=1, latency=8)
+        first = xbar.traverse(0, 0, flits=3)
+        second = xbar.traverse(0, 0, flits=3)
+        # Each 3-flit reply holds the port for 3 cycles.
+        assert first == 8 + 2
+        assert second == first + 3
+
+    def test_utilization_counter(self):
+        xbar = Crossbar(num_ports=1, latency=0)
+        for _ in range(5):
+            xbar.traverse(0, 0)
+        assert xbar.port_utilization(0) == 5
+
+
+class TestValidation:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Crossbar(num_ports=0, latency=1)
+        with pytest.raises(ConfigurationError):
+            Crossbar(num_ports=1, latency=-1)
+        with pytest.raises(ConfigurationError):
+            Crossbar(num_ports=1, latency=1, requests_per_cycle=0)
+
+    def test_rejects_zero_flits(self):
+        xbar = Crossbar(num_ports=1, latency=0)
+        with pytest.raises(ConfigurationError):
+            xbar.traverse(0, 0, flits=0)

@@ -1,0 +1,95 @@
+"""Tests for the MSHR file and the set-associative cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.mshr import MSHRFile
+from repro.gpu.request import AccessKind, MemoryAccess
+
+
+def access(address: int) -> MemoryAccess:
+    return MemoryAccess(address=address, kind=AccessKind.TABLE_LOAD,
+                        warp_id=0, sm_id=0)
+
+
+class TestMSHR:
+    def test_primary_miss_goes_to_memory(self):
+        mshrs = MSHRFile(num_entries=4)
+        assert mshrs.lookup(access(0)).send_to_memory
+
+    def test_secondary_merges(self):
+        mshrs = MSHRFile(num_entries=4)
+        primary = access(0)
+        secondary = access(0)
+        assert mshrs.lookup(primary).send_to_memory
+        outcome = mshrs.lookup(secondary)
+        assert not outcome.send_to_memory
+        assert not outcome.stalled
+
+    def test_complete_releases_all(self):
+        mshrs = MSHRFile(num_entries=4)
+        primary, secondary = access(0), access(0)
+        mshrs.lookup(primary)
+        mshrs.lookup(secondary)
+        released = mshrs.complete(0, cycle=50)
+        assert released == [primary, secondary]
+        assert all(a.complete_cycle == 50 for a in released)
+        assert len(mshrs) == 0
+
+    def test_full_file_stalls(self):
+        mshrs = MSHRFile(num_entries=1)
+        mshrs.lookup(access(0))
+        outcome = mshrs.lookup(access(64))
+        assert outcome.stalled
+
+    def test_merge_limit_stalls(self):
+        mshrs = MSHRFile(num_entries=4, max_merged=1)
+        mshrs.lookup(access(0))
+        mshrs.lookup(access(0))
+        assert mshrs.lookup(access(0)).stalled
+
+    def test_complete_unknown_block_is_empty(self):
+        assert MSHRFile(4).complete(0, 0) == []
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(0)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(num_lines=8, ways=2)
+        assert not cache.lookup(0)
+        assert cache.lookup(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(num_lines=2, ways=2)  # one set
+        cache.lookup(0)
+        cache.lookup(64 * 1)  # different block, same set
+        cache.lookup(0)  # touch 0 -> 64 is now LRU
+        cache.lookup(64 * 2)  # evicts 64
+        assert cache.lookup(0)
+        assert not cache.lookup(64 * 1)
+
+    def test_sets_partition_blocks(self):
+        cache = SetAssociativeCache(num_lines=4, ways=1)  # 4 sets
+        cache.lookup(0)
+        cache.lookup(64)
+        assert cache.lookup(0)
+        assert cache.lookup(64)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(num_lines=4, ways=2)
+        cache.lookup(0)
+        cache.invalidate()
+        assert not cache.lookup(0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(num_lines=0, ways=1)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(num_lines=6, ways=4)

@@ -1,0 +1,84 @@
+"""Tests for the memory-partition wiring (L2 / MSHR / DRAM paths)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gpu.address import AddressMap
+from repro.gpu.config import GPUConfig
+from repro.gpu.partition import MemoryPartition
+from repro.gpu.request import AccessKind, MemoryAccess
+
+
+def make_partition(**config_overrides):
+    config = GPUConfig(**config_overrides)
+    return MemoryPartition(0, config, AddressMap(config))
+
+
+def access(address=0, write=False):
+    return MemoryAccess(address=address, kind=AccessKind.TABLE_LOAD,
+                        warp_id=0, sm_id=0, is_write=write)
+
+
+class TestDramPath:
+    def test_read_queues_to_dram(self):
+        partition = make_partition()
+        outcome = partition.arrive(access(), cycle=10)
+        assert outcome.queued
+        assert not outcome.immediate
+        assert partition.controller.pending == 1
+
+    def test_service_cycle(self):
+        partition = make_partition()
+        request = access()
+        partition.arrive(request, cycle=0)
+        started, completion, slot = partition.start_next(0)
+        assert started is request
+        released = partition.service_complete(started, completion)
+        assert released == [request]
+        assert request.complete_cycle == completion
+        partition.release_slot()
+        assert partition.start_next(completion) is None
+
+    def test_release_without_slot_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_partition().release_slot()
+
+
+class TestL2Path:
+    def test_second_access_hits(self):
+        partition = make_partition(enable_l2=True)
+        first = partition.arrive(access(0), cycle=0)
+        assert first.queued  # cold miss goes to DRAM
+        second = partition.arrive(access(0), cycle=100)
+        assert not second.queued
+        assert len(second.immediate) == 1
+        finished, completion = second.immediate[0]
+        assert completion == 100 + GPUConfig().l2_hit_latency
+
+    def test_writes_bypass_l2(self):
+        partition = make_partition(enable_l2=True)
+        partition.arrive(access(0), cycle=0)
+        outcome = partition.arrive(access(0, write=True), cycle=10)
+        assert outcome.queued  # write-through: straight to DRAM
+
+
+class TestMshrPath:
+    def test_duplicate_block_merges(self):
+        partition = make_partition(enable_mshr=True)
+        primary = access(64)
+        secondary = access(64)
+        assert partition.arrive(primary, cycle=0).queued
+        merged = partition.arrive(secondary, cycle=1)
+        assert not merged.queued
+        assert not merged.immediate
+        # One DRAM request serves both.
+        assert partition.controller.pending == 1
+        started, completion, _ = partition.start_next(2)
+        released = partition.service_complete(started, completion)
+        assert set(map(id, released)) == {id(primary), id(secondary)}
+
+    def test_distinct_blocks_do_not_merge(self):
+        partition = make_partition(enable_mshr=True)
+        partition.arrive(access(0), cycle=0)
+        partition.arrive(access(64), cycle=0)
+        assert partition.controller.pending == 2

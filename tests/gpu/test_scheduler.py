@@ -1,0 +1,51 @@
+"""Tests for the warp scheduler model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.scheduler import SchedulerSet, WarpScheduler
+
+
+class TestWarpScheduler:
+    def test_issue_when_idle(self):
+        scheduler = WarpScheduler(issue_cycles=2)
+        assert scheduler.issue_at(10) == 10
+        assert scheduler.next_free == 12
+
+    def test_back_to_back_issues_serialize(self):
+        scheduler = WarpScheduler(issue_cycles=2)
+        first = scheduler.issue_at(0)
+        second = scheduler.issue_at(0)
+        third = scheduler.issue_at(0)
+        assert (first, second, third) == (0, 2, 4)
+        assert scheduler.issued == 3
+
+    def test_late_request_not_delayed(self):
+        scheduler = WarpScheduler(issue_cycles=2)
+        scheduler.issue_at(0)
+        assert scheduler.issue_at(100) == 100
+
+
+class TestSchedulerSet:
+    def test_static_even_odd_partition(self):
+        schedulers = SchedulerSet(num_schedulers=2, issue_cycles=2)
+        assert schedulers.for_warp(0) is schedulers.for_warp(2)
+        assert schedulers.for_warp(1) is schedulers.for_warp(3)
+        assert schedulers.for_warp(0) is not schedulers.for_warp(1)
+
+    def test_two_schedulers_issue_in_parallel(self):
+        schedulers = SchedulerSet(num_schedulers=2, issue_cycles=2)
+        a = schedulers.for_warp(0).issue_at(0)
+        b = schedulers.for_warp(1).issue_at(0)
+        assert a == b == 0  # different ports, no conflict
+
+    def test_total_issued(self):
+        schedulers = SchedulerSet(num_schedulers=2, issue_cycles=2)
+        schedulers.for_warp(0).issue_at(0)
+        schedulers.for_warp(1).issue_at(0)
+        schedulers.for_warp(2).issue_at(5)
+        assert schedulers.total_issued == 3
+
+    def test_rejects_zero_schedulers(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerSet(num_schedulers=0, issue_cycles=2)

@@ -1,0 +1,104 @@
+"""Tests for warp program construction from AES traces."""
+
+import pytest
+
+from repro.aes.key_schedule import NUM_ROUNDS
+from repro.aes.ttable import LOOKUPS_PER_ROUND, TTableAES
+from repro.errors import ConfigurationError
+from repro.gpu.address import AddressMap
+from repro.gpu.config import GPUConfig
+from repro.gpu.request import AccessKind
+from repro.gpu.warp import ComputeInstruction, MemoryInstruction, \
+    build_warp_programs
+
+
+@pytest.fixture
+def address_map(gpu_config):
+    return AddressMap(gpu_config)
+
+
+def traces_for(num_lines: int, key: bytes = bytes(16)):
+    aes = TTableAES(key)
+    return [aes.encrypt(bytes([line % 256]) * 16)
+            for line in range(num_lines)]
+
+
+class TestStructure:
+    def test_one_warp_per_32_lines(self, address_map):
+        programs = build_warp_programs(traces_for(96), address_map)
+        assert len(programs) == 3
+        assert [p.warp_id for p in programs] == [0, 1, 2]
+        assert all(p.num_threads == 32 for p in programs)
+
+    def test_instruction_counts(self, address_map):
+        program = build_warp_programs(traces_for(32), address_map)[0]
+        computes = [i for i in program.instructions
+                    if isinstance(i, ComputeInstruction)]
+        memories = [i for i in program.instructions
+                    if isinstance(i, MemoryInstruction)]
+        assert len(computes) == NUM_ROUNDS
+        # input load + 10 rounds x 16 table loads + output store
+        assert len(memories) == 1 + NUM_ROUNDS * LOOKUPS_PER_ROUND + 1
+
+    def test_io_can_be_disabled(self, address_map):
+        program = build_warp_programs(traces_for(32), address_map,
+                                      include_io=False)[0]
+        kinds = {i.kind for i in program.instructions
+                 if isinstance(i, MemoryInstruction)}
+        assert kinds == {AccessKind.TABLE_LOAD}
+
+    def test_round_memory_instruction_lookup(self, address_map):
+        program = build_warp_programs(traces_for(32), address_map)[0]
+        last = program.round_memory_instructions(NUM_ROUNDS)
+        assert len(last) == LOOKUPS_PER_ROUND
+        assert all(i.kind is AccessKind.TABLE_LOAD for i in last)
+
+    def test_store_is_outside_round_windows(self, address_map):
+        program = build_warp_programs(traces_for(32), address_map)[0]
+        stores = [i for i in program.instructions
+                  if isinstance(i, MemoryInstruction) and i.is_write]
+        assert len(stores) == 1
+        assert stores[0].round_index is None
+
+    def test_empty_traces_rejected(self, address_map):
+        with pytest.raises(ConfigurationError):
+            build_warp_programs([], address_map)
+
+
+class TestAddresses:
+    def test_table_loads_match_trace_indices(self, address_map):
+        traces = traces_for(32)
+        program = build_warp_programs(traces, address_map)[0]
+        loads = program.round_memory_instructions(NUM_ROUNDS)
+        for k, load in enumerate(loads):
+            for tid in range(32):
+                table, index = traces[tid].rounds[-1].lookups[k]
+                expected = address_map.table_entry_address(table, index)
+                assert load.addresses[tid] == expected
+
+    def test_lockstep_ordering(self, address_map):
+        """The k-th load gathers the k-th lookup of EVERY thread."""
+        traces = traces_for(32)
+        program = build_warp_programs(traces, address_map)[0]
+        round1 = program.round_memory_instructions(1)
+        for k, load in enumerate(round1):
+            tables = {traces[tid].rounds[0].lookups[k][0]
+                      for tid in range(32)}
+            assert len(tables) == 1  # same table id for all lanes
+
+
+class TestPartialWarps:
+    def test_partial_warp_has_active_mask(self, address_map):
+        programs = build_warp_programs(traces_for(40), address_map)
+        assert programs[0].num_threads == 32
+        assert programs[1].num_threads == 8
+        last_loads = programs[1].round_memory_instructions(NUM_ROUNDS)
+        mask = last_loads[0].active_mask
+        assert mask is not None
+        assert sum(mask) == 8
+        assert len(last_loads[0].addresses) == 32  # padded to warp width
+
+    def test_full_warp_has_no_mask(self, address_map):
+        program = build_warp_programs(traces_for(32), address_map)[0]
+        loads = program.round_memory_instructions(1)
+        assert loads[0].active_mask is None

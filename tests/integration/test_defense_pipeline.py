@@ -1,0 +1,103 @@
+"""End-to-end integration: the defenses against their corresponding attacks.
+
+Checks the paper's central claims on the clean per-byte-count channel
+(where the theory is exact): FSS alone falls to Algorithm 1, the
+randomized mechanisms reduce the attack correlation to their Table II
+values, and the performance cost is bounded and ordered as reported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import rho_fss_rts
+from repro.attack.estimator import AccessEstimator
+from repro.attack.recovery import CorrelationTimingAttack
+from repro.core.policies import make_policy
+from repro.rng import RngStream
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+KEY = bytes(RngStream(2025, "secret").random_bytes(16))
+
+
+def attack_mechanism(policy_name, m, samples=120):
+    victim = EncryptionServer(
+        KEY, make_policy(policy_name, m),
+        rng=RngStream(2025, f"victim-{policy_name}-{m}"),
+        counts_only=True,
+    )
+    plaintexts = random_plaintexts(samples, 32, RngStream(2025, "pt"))
+    records = victim.encrypt_batch(plaintexts)
+    model = make_policy(policy_name, m)
+    attacker_rng = (RngStream(2025, f"attacker-{policy_name}-{m}")
+                    if model.is_randomized else None)
+    attack = CorrelationTimingAttack(AccessEstimator(model,
+                                                     rng=attacker_rng))
+    observed = np.array([r.last_round_byte_accesses for r in records]).T
+    return attack.recover_key(
+        [r.ciphertext_lines for r in records],
+        observed,
+        correct_key=victim.last_round_key,
+    )
+
+
+class TestSecurityClaims:
+    def test_fss_falls_to_algorithm1(self):
+        recovery = attack_mechanism("fss", 8)
+        assert recovery.success
+        assert recovery.average_correct_correlation == pytest.approx(1.0)
+
+    def test_fss_rts_correlation_matches_table2(self):
+        recovery = attack_mechanism("fss_rts", 2)
+        assert recovery.average_correct_correlation == pytest.approx(
+            float(rho_fss_rts(32, 16, 2)), abs=0.1
+        )
+
+    def test_randomized_mechanisms_block_recovery(self):
+        for name in ("fss_rts", "rss_rts"):
+            recovery = attack_mechanism(name, 8)
+            assert recovery.num_correct <= 3
+            assert abs(recovery.average_correct_correlation) < 0.25
+
+    def test_security_ordering_matches_theory(self):
+        """FSS+RTS leaks more than RSS+RTS at M=2, less at M=16."""
+        at_2 = (attack_mechanism("fss_rts", 2).average_correct_correlation,
+                attack_mechanism("rss_rts", 2).average_correct_correlation)
+        assert at_2[0] > at_2[1]
+
+
+class TestPerformanceClaims:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        plaintexts = random_plaintexts(6, 32, RngStream(2025, "pt-perf"))
+        out = {}
+        for name, m in (("baseline", 1), ("fss", 8), ("fss_rts", 8),
+                        ("rss", 8), ("nocoal", 32)):
+            server = EncryptionServer(
+                KEY, make_policy(name, m),
+                rng=RngStream(2025, f"perf-{name}"),
+            )
+            records = server.encrypt_batch(plaintexts)
+            out[name] = float(np.mean([r.total_time for r in records]))
+        return out
+
+    def test_overheads_ordered(self, timings):
+        assert timings["baseline"] < timings["rss"] \
+            < timings["fss"] < timings["nocoal"]
+
+    def test_rts_is_performance_neutral(self, timings):
+        assert timings["fss_rts"] == pytest.approx(timings["fss"],
+                                                   rel=0.03)
+
+    def test_nocoal_overhead_in_paper_band(self, timings):
+        ratio = timings["nocoal"] / timings["baseline"]
+        assert 1.8 < ratio < 3.2  # paper: ~2.8x for the large case
+
+
+class TestReproducibility:
+    def test_whole_pipeline_is_deterministic(self):
+        a = attack_mechanism("rss_rts", 4, samples=40)
+        b = attack_mechanism("rss_rts", 4, samples=40)
+        assert a.recovered_key == b.recovered_key
+        assert a.average_correct_correlation \
+            == b.average_correct_correlation

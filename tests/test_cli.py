@@ -1,0 +1,30 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_runs_a_small_experiment(self, capsys):
+        assert main(["fig09", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "subwarp size" in out
+
+    def test_samples_override(self, capsys):
+        assert main(["fig05", "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+        assert "8" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])

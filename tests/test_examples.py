@@ -1,0 +1,34 @@
+"""The example scripts must at least parse, and the fast ones must run."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {"quickstart.py", "attack_demo.py", "defense_tradeoff.py",
+                "theory_vs_simulation.py", "synthetic_patterns.py",
+                "paper_walkthrough.py"} <= names
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES,
+                             ids=[p.name for p in ALL_EXAMPLES])
+    def test_examples_compile(self, script):
+        py_compile.compile(str(script), doraise=True)
+
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "baseline" in completed.stdout
+        assert "nocoal" in completed.stdout
+        assert "decrypts back" in completed.stdout

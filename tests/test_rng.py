@@ -1,0 +1,60 @@
+"""Tests for seeded RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngStream, derive_seed, split_streams
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "victim") == derive_seed(42, "victim")
+
+    def test_name_separates_streams(self):
+        assert derive_seed(42, "victim") != derive_seed(42, "attacker")
+
+    def test_root_seed_separates_streams(self):
+        assert derive_seed(1, "victim") != derive_seed(2, "victim")
+
+
+class TestRngStream:
+    def test_same_stream_same_sequence(self):
+        a = RngStream(7, "x").integers(0, 1000, size=32)
+        b = RngStream(7, "x").integers(0, 1000, size=32)
+        assert np.array_equal(a, b)
+
+    def test_named_streams_are_independent(self):
+        a = RngStream(7, "victim").integers(0, 1000, size=64)
+        b = RngStream(7, "attacker").integers(0, 1000, size=64)
+        assert not np.array_equal(a, b)
+
+    def test_child_streams_are_reproducible(self):
+        a = RngStream(7, "x").child("sub").integers(0, 1000, size=16)
+        b = RngStream(7, "x").child("sub").integers(0, 1000, size=16)
+        assert np.array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RngStream(7, "x")
+        child = parent.child("sub")
+        assert not np.array_equal(
+            parent.integers(0, 1000, size=16),
+            child.integers(0, 1000, size=16),
+        )
+
+    def test_permutation_is_a_permutation(self):
+        perm = RngStream(7, "x").permutation(32)
+        assert sorted(perm.tolist()) == list(range(32))
+
+    def test_choice_without_replacement_is_distinct(self):
+        picks = RngStream(7, "x").choice_without_replacement(31, 7)
+        assert len(set(picks.tolist())) == 7
+
+    def test_random_bytes_length(self):
+        assert len(RngStream(7, "x").random_bytes(33)) == 33
+
+
+def test_split_streams_names():
+    streams = split_streams(9, ["a", "b"])
+    assert [s.name for s in streams] == ["a", "b"]
+    assert not np.array_equal(streams[0].integers(0, 100, 32),
+                              streams[1].integers(0, 100, 32))

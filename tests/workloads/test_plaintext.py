@@ -1,0 +1,34 @@
+"""Tests for plaintext generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+from repro.workloads.plaintext import random_plaintexts
+
+
+class TestRandomPlaintexts:
+    def test_shape(self, rng):
+        samples = random_plaintexts(5, 32, rng)
+        assert len(samples) == 5
+        assert all(len(s) == 32 * 16 for s in samples)
+
+    def test_deterministic_per_stream(self):
+        a = random_plaintexts(3, 4, RngStream(2, "pt"))
+        b = random_plaintexts(3, 4, RngStream(2, "pt"))
+        assert a == b
+
+    def test_samples_differ(self, rng):
+        samples = random_plaintexts(4, 32, rng)
+        assert len(set(samples)) == 4
+
+    def test_rejects_bad_counts(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_plaintexts(0, 32, rng)
+        with pytest.raises(ConfigurationError):
+            random_plaintexts(1, 0, rng)
+
+    def test_bytes_look_uniform(self):
+        """Crude uniformity check: all byte values appear."""
+        sample = random_plaintexts(1, 1024, RngStream(3, "u"))[0]
+        assert len(set(sample)) == 256

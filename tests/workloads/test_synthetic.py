@@ -1,0 +1,102 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.core.rcoal import RCoalGPU
+from repro.errors import ConfigurationError
+from repro.gpu.warp import MemoryInstruction
+from repro.rng import RngStream
+from repro.workloads.synthetic import (
+    HotspotPattern,
+    RandomPattern,
+    SequentialPattern,
+    StridedPattern,
+    SyntheticKernel,
+)
+
+
+def accesses_under(pattern, policy_name, m, seed=3):
+    policy = make_policy(policy_name, m)
+    gpu = RCoalGPU(policy)
+    programs = SyntheticKernel(pattern, num_rounds=2).build(
+        RngStream(seed, "build"))
+    rng = (RngStream(seed, "victim") if policy.is_randomized else None)
+    return gpu.launch(programs, rng).result
+
+
+class TestPatterns:
+    def test_sequential_coalesces_to_minimum(self):
+        result = accesses_under(SequentialPattern(stride=4), "baseline", 1)
+        # 32 threads x 4 bytes = 2 blocks per load; 32 loads.
+        assert result.table_accesses == 2 * 32
+
+    def test_strided_is_already_worst_case(self):
+        base = accesses_under(StridedPattern(), "baseline", 1)
+        split = accesses_under(StridedPattern(), "nocoal", 32)
+        assert base.table_accesses == split.table_accesses == 32 * 32
+
+    def test_random_pattern_in_aes_regime(self):
+        result = accesses_under(RandomPattern(16), "baseline", 1)
+        per_load = result.table_accesses / 32
+        assert 12 < per_load < 16  # occupancy mean ~13.9
+
+    def test_hotspot_between_sequential_and_random(self):
+        hot = accesses_under(HotspotPattern(), "baseline", 1)
+        rand = accesses_under(RandomPattern(16), "baseline", 1)
+        seq = accesses_under(SequentialPattern(), "baseline", 1)
+        assert seq.table_accesses < hot.table_accesses
+        assert hot.table_accesses < rand.table_accesses
+
+    def test_subwarping_cost_ordering(self):
+        """Sequential suffers multiplicatively; strided not at all."""
+        # Sequential: 2 blocks/load merged across the warp; FSS-8 puts
+        # each 4-thread subwarp inside one block -> 8 accesses/load.
+        seq_base = accesses_under(SequentialPattern(), "baseline", 1)
+        seq_split = accesses_under(SequentialPattern(), "fss", 8)
+        assert seq_base.table_accesses == 2 * 32
+        assert seq_split.table_accesses == 8 * 32
+
+        strided_base = accesses_under(StridedPattern(), "baseline", 1)
+        strided_split = accesses_under(StridedPattern(), "fss", 8)
+        assert strided_split.table_accesses == strided_base.table_accesses
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequentialPattern(stride=0)
+        with pytest.raises(ConfigurationError):
+            StridedPattern(stride=4)
+        with pytest.raises(ConfigurationError):
+            RandomPattern(0)
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(hot_fraction=1.5)
+
+    def test_random_pattern_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            RandomPattern(16).addresses(32, 0, None)
+
+
+class TestSyntheticKernel:
+    def test_program_shape(self):
+        kernel = SyntheticKernel(SequentialPattern(), num_warps=3,
+                                 loads_per_round=4, num_rounds=5)
+        programs = kernel.build()
+        assert len(programs) == 3
+        loads = [i for i in programs[0].instructions
+                 if isinstance(i, MemoryInstruction)]
+        assert len(loads) == 4 * 5
+        assert {i.round_index for i in loads} == {1, 2, 3, 4, 5}
+
+    def test_deterministic_given_stream(self):
+        kernel = SyntheticKernel(RandomPattern(16))
+        a = kernel.build(RngStream(4, "s"))
+        b = kernel.build(RngStream(4, "s"))
+        first_a = next(i for i in a[0].instructions
+                       if isinstance(i, MemoryInstruction))
+        first_b = next(i for i in b[0].instructions
+                       if isinstance(i, MemoryInstruction))
+        assert first_a.addresses == first_b.addresses
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticKernel(SequentialPattern(), num_warps=0)
