@@ -1,6 +1,7 @@
 # Convenience targets for the RCoal reproduction.
 
-.PHONY: install test test-fast bench bench-paper experiments clean
+.PHONY: install test test-fast bench bench-paper experiments trace \
+        profile clean
 
 install:
 	pip install -e '.[test]'
@@ -23,5 +24,16 @@ bench-paper:
 experiments:
 	REPRO_FAST=1 rcoal all
 
+# Export a Chrome trace of a baseline run (open in chrome://tracing
+# or https://ui.perfetto.dev); see docs/observability.md.
+trace:
+	REPRO_FAST=1 rcoal trace fig05 --out trace.json
+
+# Print the telemetry metrics snapshot for a baseline run.
+profile:
+	REPRO_FAST=1 rcoal metrics fig05
+
 clean:
-	rm -rf .pytest_cache benchmarks/results **/__pycache__
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	find . -name '*.pyc' -delete

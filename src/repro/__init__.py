@@ -13,7 +13,9 @@ Attack via Subwarp-Based Randomized Coalescing Techniques" (HPCA 2018)*:
   Algorithm 1, and the mimicking corresponding attacks);
 * :mod:`repro.analysis` — the exact Section V security model (Table II);
 * :mod:`repro.workloads` — plaintext generation and the victim server;
-* :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.experiments` — one harness per paper table/figure;
+* :mod:`repro.telemetry` — observability: structured metrics, Chrome-trace
+  event tracing, per-module logging, and experiment progress reporting.
 
 Quick start::
 
@@ -47,6 +49,7 @@ from repro.errors import ReproError
 from repro.experiments import ExperimentContext, run_experiment
 from repro.gpu import GPUConfig, GPUSimulator
 from repro.rng import RngStream
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.workloads import EncryptionRecord, EncryptionServer, \
     random_plaintexts
 
@@ -71,6 +74,8 @@ __all__ = [
     "EncryptionServer", "EncryptionRecord", "random_plaintexts",
     # experiments
     "ExperimentContext", "run_experiment",
+    # telemetry
+    "Telemetry", "MetricsRegistry", "Tracer",
     # errors
     "ReproError",
     # rng

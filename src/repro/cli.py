@@ -6,6 +6,11 @@ Usage::
     rcoal fig06                    # regenerate Fig 6
     rcoal fig15 --samples 40       # smaller run
     rcoal all                      # regenerate everything (slow)
+
+Observability subcommands (see ``docs/observability.md``)::
+
+    rcoal trace fig05 --out trace.json    # Chrome trace_event JSON
+    rcoal metrics fig05                   # metrics snapshot table
 """
 
 from __future__ import annotations
@@ -17,24 +22,40 @@ from typing import List, Optional
 
 from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.telemetry import Telemetry, configure_logging
 
 __all__ = ["main"]
+
+#: Telemetry subcommands handled by dedicated parsers; everything else is
+#: the classic ``rcoal <experiment>`` form.
+_TELEMETRY_COMMANDS = ("trace", "metrics")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="root experiment seed (default 2018)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override plaintext sample count")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="enable repro.* logging on stderr "
+                             "(-v info, -vv debug)")
+    parser.add_argument("--progress", action="store_true",
+                        help="per-sample ETA reporting on stderr")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rcoal",
         description="RCoal (HPCA 2018) reproduction: regenerate paper "
-                    "tables and figures on the simulated GPU.",
+                    "tables and figures on the simulated GPU. "
+                    "Subcommands 'trace' and 'metrics' run one experiment "
+                    "with telemetry enabled (see rcoal trace --help).",
     )
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06, table2), 'all', or 'list'",
     )
-    parser.add_argument("--seed", type=int, default=2018,
-                        help="root experiment seed (default 2018)")
-    parser.add_argument("--samples", type=int, default=None,
-                        help="override plaintext sample count")
+    _add_common_arguments(parser)
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the result rows as CSV "
                              "(experiment id is appended for 'all')")
@@ -46,8 +67,80 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_telemetry_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"rcoal {command}",
+        description=(
+            "Run one experiment with event tracing enabled and export a "
+            "Chrome trace_event JSON (open in chrome://tracing or "
+            "https://ui.perfetto.dev)." if command == "trace" else
+            "Run one experiment with metrics enabled and print the "
+            "counter/gauge/histogram snapshot."
+        ),
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig05, fig06)")
+    _add_common_arguments(parser)
+    if command == "trace":
+        parser.add_argument("--out", metavar="PATH", default="trace.json",
+                            help="Chrome trace output path "
+                                 "(default trace.json)")
+        parser.add_argument("--jsonl", metavar="PATH", default=None,
+                            help="also write events as JSONL")
+        parser.add_argument("--capacity", type=int, default=500_000,
+                            help="trace ring-buffer capacity in events "
+                                 "(default 500000; oldest evicted)")
+    else:
+        parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also write the metrics snapshot as JSON")
+    return parser
+
+
+def _run_telemetry_command(command: str, argv: List[str]) -> int:
+    args = _build_telemetry_parser(command).parse_args(argv)
+    configure_logging(args.verbose)
+
+    capacity = getattr(args, "capacity", 500_000)
+    telemetry = Telemetry(trace_capacity=capacity)
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
+                            telemetry=telemetry, progress=args.progress)
+
+    start = time.time()
+    result = run_experiment(args.experiment, ctx)
+    print(result.render())
+    print(f"[{args.experiment} completed in {time.time() - start:.1f}s]")
+    print()
+
+    if command == "trace":
+        tracer = telemetry.tracer
+        if len(tracer) == 0:
+            print("warning: no trace events recorded (counts-only "
+                  "experiments skip the timing simulator)",
+                  file=sys.stderr)
+        path = tracer.write_chrome_trace(args.out)
+        categories = ", ".join(sorted(tracer.categories())) or "none"
+        print(f"[trace written to {path}: {len(tracer)} events "
+              f"({tracer.dropped} evicted), categories: {categories}]")
+        print("[open in chrome://tracing or https://ui.perfetto.dev]")
+        if args.jsonl:
+            print(f"[jsonl written to {tracer.write_jsonl(args.jsonl)}]")
+    else:
+        print(f"== {args.experiment}: telemetry metrics snapshot ==")
+        print(telemetry.metrics.render_table())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(telemetry.metrics.to_json())
+            print(f"[metrics json written to {args.json}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _TELEMETRY_COMMANDS:
+        return _run_telemetry_command(argv[0], argv[1:])
+
     args = _build_parser().parse_args(argv)
+    configure_logging(args.verbose)
 
     if args.experiment == "list":
         for experiment_id in sorted(EXPERIMENTS):
@@ -56,7 +149,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples)
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
+                            progress=args.progress)
 
     multiple = len(ids) > 1
     for experiment_id in ids:

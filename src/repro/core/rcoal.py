@@ -43,9 +43,10 @@ class RCoalGPU:
 
     def __init__(self, policy: CoalescingPolicy,
                  config: Optional[GPUConfig] = None,
-                 address_map=None):
+                 address_map=None, telemetry=None):
         self.policy = policy
-        self.simulator = GPUSimulator(config, address_map=address_map)
+        self.simulator = GPUSimulator(config, address_map=address_map,
+                                      telemetry=telemetry)
         if policy.warp_size != self.simulator.config.warp_size:
             raise ConfigurationError(
                 f"policy warp size {policy.warp_size} != machine warp size "

@@ -26,7 +26,8 @@ from repro.core.policies import CoalescingPolicy, make_policy
 from repro.experiments.reporting import format_table
 from repro.gpu.config import GPUConfig
 from repro.rng import RngStream
-from repro.utils import scaled_samples
+from repro.telemetry import ProgressReporter, Telemetry, get_logger
+from repro.utils import env_flag, scaled_samples
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
@@ -42,6 +43,8 @@ __all__ = [
 #: The four defense mechanisms compared throughout Section VI, paper order.
 MECHANISMS: Tuple[str, ...] = ("fss", "fss_rts", "rss", "rss_rts")
 
+log = get_logger(__name__)
+
 
 @dataclass(frozen=True)
 class ExperimentContext:
@@ -54,6 +57,11 @@ class ExperimentContext:
     lines: int = 32
     #: Optional GPU configuration override.
     config: Optional[GPUConfig] = None
+    #: Optional observability sink (metrics + event tracing) threaded into
+    #: every server the experiment stands up via :func:`collect_records`.
+    telemetry: Optional[Telemetry] = None
+    #: Per-sample ETA reporting on stderr (also enabled by REPRO_PROGRESS).
+    progress: bool = False
 
     def sample_count(self, paper: int = 100, fast: int = 40) -> int:
         if self.samples is not None:
@@ -113,8 +121,20 @@ def collect_records(
         rng=victim_rng if policy.is_randomized else None,
         counts_only=counts_only,
         retain_kernel_results=retain_kernel_results,
+        telemetry=ctx.telemetry,
     )
-    return server, server.encrypt_batch(plaintexts)
+    log.info("collecting %d samples under %s%s", num_samples,
+             policy.describe(), " (counts only)" if counts_only else "")
+    reporter = ProgressReporter(
+        num_samples, label=policy.describe(),
+        enabled=ctx.progress or env_flag("REPRO_PROGRESS"),
+    )
+    records = []
+    for plaintext in plaintexts:
+        records.append(server.encrypt(plaintext))
+        reporter.update()
+    reporter.finish()
+    return server, records
 
 
 def corresponding_attack(ctx: ExperimentContext, policy_name: str,

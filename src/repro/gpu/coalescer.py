@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.telemetry import Telemetry
 
 __all__ = ["PRTEntry", "PendingRequestTable", "CoalescedGroup",
            "CoalescingUnit"]
@@ -94,13 +95,15 @@ class CoalescingUnit:
         Pending-request-table size.
     """
 
-    def __init__(self, access_bytes: int = 64, prt_capacity: int = 64):
+    def __init__(self, access_bytes: int = 64, prt_capacity: int = 64,
+                 telemetry: Optional[Telemetry] = None):
         if access_bytes <= 0 or access_bytes & (access_bytes - 1):
             raise ConfigurationError(
                 f"access size must be a positive power of two: {access_bytes}"
             )
         self.access_bytes = access_bytes
         self.prt = PendingRequestTable(prt_capacity)
+        self._telemetry = Telemetry.ensure(telemetry)
 
     def _block_of(self, address: int) -> int:
         return address & ~(self.access_bytes - 1)
@@ -151,19 +154,40 @@ class CoalescingUnit:
                 size=request_size,
             ))
 
+        drained = self.prt.drain()
         groups: Dict[int, Tuple[List[int], List[int]]] = {}
-        for entry in self.prt.drain():
+        for entry in drained:
             blocks, tids = groups.setdefault(entry.sid, ([], []))
             if entry.base_address not in blocks:
                 blocks.append(entry.base_address)
             tids.append(entry.tid)
 
-        return [
+        result = [
             CoalescedGroup(sid=sid,
                            block_addresses=tuple(blocks),
                            thread_ids=tuple(tids))
             for sid, (blocks, tids) in sorted(groups.items())
         ]
+
+        if self._telemetry.enabled:
+            metrics = self._telemetry.metrics
+            total_blocks = sum(len(g.block_addresses) for g in result)
+            metrics.counter("coalescer.instructions").inc()
+            metrics.counter("coalescer.accesses").inc(total_blocks)
+            metrics.histogram(
+                "coalescer.prt_occupancy",
+                buckets=tuple(range(1, self.prt.capacity + 1)),
+            ).observe(len(drained))
+            metrics.histogram(
+                "coalescer.accesses_per_instruction",
+                buckets=tuple(range(1, 65)),
+            ).observe(total_blocks)
+            metrics.histogram(
+                "coalescer.subwarps_per_instruction",
+                buckets=tuple(range(1, 33)),
+            ).observe(len(result))
+
+        return result
 
     def count_accesses(
         self,

@@ -27,6 +27,7 @@ from repro.errors import ProtocolError
 from repro.gpu.address import DecodedAddress
 from repro.gpu.config import DramTiming
 from repro.gpu.request import MemoryAccess
+from repro.telemetry import PID_DRAM, Telemetry
 
 __all__ = ["BankState", "DramStats", "MemoryController"]
 
@@ -76,7 +77,9 @@ class MemoryController:
     """FR-FCFS controller for one memory partition."""
 
     def __init__(self, num_banks: int, timing: DramTiming,
-                 queue_capacity: int = 65536, frfcfs_window: int = 64):
+                 queue_capacity: int = 65536, frfcfs_window: int = 64,
+                 telemetry: Optional[Telemetry] = None,
+                 partition_id: int = 0):
         self.timing = timing
         self.banks = [BankState() for _ in range(num_banks)]
         self.queue_capacity = queue_capacity
@@ -84,6 +87,8 @@ class MemoryController:
         #: entries (hardware schedulers have a bounded associative search).
         self.frfcfs_window = frfcfs_window
         self.stats = DramStats()
+        self.partition_id = partition_id
+        self._telemetry = Telemetry.ensure(telemetry)
         self._queue: Deque[_Queued] = deque()
         #: Cycle at which the data bus next frees.
         self.bus_free: int = 0
@@ -106,6 +111,14 @@ class MemoryController:
         if len(self._queue) >= self.queue_capacity:
             raise ProtocolError("memory controller queue overflow")
         self._queue.append(_Queued(access, decoded, cycle))
+        if self._telemetry.enabled:
+            metrics = self._telemetry.metrics
+            metrics.counter("dram.enqueued").inc()
+            metrics.histogram(
+                "dram.queue_depth", buckets=(1, 2, 4, 8, 16, 32, 64, 128,
+                                             256, 512, 1024),
+            ).observe(len(self._queue))
+            metrics.gauge("dram.queue_depth.last").set(len(self._queue))
 
     # -- scheduling -------------------------------------------------------------
 
@@ -160,8 +173,10 @@ class MemoryController:
         timing = self.timing
         bank = self.banks[queued.decoded.bank]
         row = queued.decoded.row
+        row_hit = bank.open_row == row
+        activate = None
 
-        if bank.open_row == row:
+        if row_hit:
             # Column accesses to an open row pipeline every tCCD; tCL is
             # latency, not occupancy.
             self.stats.row_hits += 1
@@ -183,10 +198,34 @@ class MemoryController:
         completion = burst_start + timing.t_burst
         self.bus_free = completion
 
+        queue_wait = max(0, burst_start - queued.arrival)
         self.stats.bus_busy_cycles += timing.t_burst
-        self.stats.queue_wait_cycles += max(0, burst_start - queued.arrival)
+        self.stats.queue_wait_cycles += queue_wait
         if queued.access.is_write:
             self.stats.writes += 1
         else:
             self.stats.reads += 1
+
+        if self._telemetry.enabled:
+            metrics = self._telemetry.metrics
+            metrics.counter("dram.row_hits" if row_hit
+                            else "dram.row_misses").inc()
+            metrics.counter("dram.writes" if queued.access.is_write
+                            else "dram.reads").inc()
+            metrics.counter("dram.bus_busy_cycles").inc(timing.t_burst)
+            metrics.histogram("dram.queue_wait_cycles").observe(queue_wait)
+            tracer = self._telemetry.tracer
+            base = tracer.time_base
+            args = {"bank": queued.decoded.bank, "row": row,
+                    "warp": queued.access.warp_id}
+            if activate is not None:
+                tracer.complete("activate", "dram", base + activate,
+                                timing.t_rcd, pid=PID_DRAM,
+                                tid=self.partition_id, args=args)
+            tracer.complete("column_hit" if row_hit else "column_miss",
+                            "dram", base + cas_issue,
+                            completion - cas_issue, pid=PID_DRAM,
+                            tid=self.partition_id,
+                            args={**args, "queue_wait": queue_wait})
+
         return completion, cas_issue + timing.t_ccd

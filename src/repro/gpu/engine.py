@@ -33,8 +33,11 @@ from repro.gpu.request import MemoryAccess
 from repro.gpu.scheduler import SchedulerSet
 from repro.gpu.stats import KernelResult
 from repro.gpu.warp import ComputeInstruction, MemoryInstruction, WarpProgram
+from repro.telemetry import PID_ICNT, Telemetry, get_logger
 
 __all__ = ["GPUSimulator", "KernelResult", "RoundAwareSidMap"]
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -112,9 +115,13 @@ class GPUSimulator:
     """
 
     def __init__(self, config: Optional[GPUConfig] = None,
-                 address_map: Optional[AddressMap] = None):
+                 address_map: Optional[AddressMap] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.config = config or GPUConfig()
         self.address_map = address_map or AddressMap(self.config)
+        #: Observability sink; the disabled null object by default, so the
+        #: hot path pays one boolean check per instrumentation site.
+        self.telemetry = Telemetry.ensure(telemetry)
 
     def run(
         self,
@@ -136,19 +143,28 @@ class GPUSimulator:
             raise ConfigurationError("a kernel launch needs at least one warp")
 
         config = self.config
+        telemetry = self.telemetry
+        # Resolved once per launch: None on the uninstrumented hot path, so
+        # per-event sites cost a single identity check.
+        tracer = telemetry.tracer if telemetry.enabled else None
+        trace_base = tracer.time_base if tracer is not None else 0
+        tele_arg = telemetry if telemetry.enabled else None
         partitions = [
-            MemoryPartition(p, config, self.address_map)
+            MemoryPartition(p, config, self.address_map, telemetry=tele_arg)
             for p in range(config.num_partitions)
         ]
         forward = Crossbar(config.num_partitions, config.icnt_latency,
-                           config.icnt_requests_per_cycle)
+                           config.icnt_requests_per_cycle,
+                           telemetry=tele_arg, name="fwd")
         reply_net = Crossbar(config.num_sms, config.icnt_latency,
-                             config.icnt_requests_per_cycle)
+                             config.icnt_requests_per_cycle,
+                             telemetry=tele_arg, name="reply")
         sms = [
             _SMState(
                 schedulers=SchedulerSet(config.warp_schedulers_per_sm,
                                         config.issue_cycles),
-                coalescer=CoalescingUnit(config.access_bytes),
+                coalescer=CoalescingUnit(config.access_bytes,
+                                         telemetry=tele_arg),
             )
             for _ in range(config.num_sms)
         ]
@@ -209,6 +225,11 @@ class GPUSimulator:
                 return
             reply_cycle = reply_net.traverse(access.sm_id, cycle,
                                              flits=reply_flits)
+            if tracer is not None:
+                tracer.complete("reply_xbar", "interconnect",
+                                trace_base + cycle, reply_cycle - cycle,
+                                pid=PID_ICNT, tid=access.sm_id,
+                                args={"warp": access.warp_id})
             push(reply_cycle, "reply", access)
 
         # -- event handlers ---------------------------------------------------
@@ -221,6 +242,9 @@ class GPUSimulator:
                     return
                 warp.finished = True
                 result.warp_finish[warp_id] = cycle
+                if tracer is not None:
+                    tracer.instant("warp_finish", "warp",
+                                   trace_base + cycle, tid=warp_id)
                 return
             instruction = warp.program.instructions[warp.pc]
             # Loads are independent within a round and stay in flight
@@ -239,6 +263,10 @@ class GPUSimulator:
                 window = result.window(warp_id, instruction.round_index)
                 window.observe_start(issue)
                 window.observe_end(done)
+                if tracer is not None:
+                    tracer.complete("compute", "warp", trace_base + issue,
+                                    done - issue, tid=warp_id,
+                                    args={"round": instruction.round_index})
                 push(done, "warp", warp_id)
                 return
 
@@ -275,6 +303,16 @@ class GPUSimulator:
                 push(access.inject_cycle, "inject", access)
             sm.ldst_free = ldst_start + len(blocks) * per_access
 
+            if tracer is not None:
+                tracer.complete(
+                    "coalesce", "coalescer", trace_base + issue,
+                    sm.ldst_free - issue, tid=warp_id,
+                    args={"round": instruction.round_index,
+                          "kind": instruction.kind.value,
+                          "accesses": len(blocks),
+                          "subwarps": len(groups)},
+                )
+
             if instruction.is_write:
                 # Stores retire at LD/ST egress; the warp does not wait.
                 push(sm.ldst_free, "warp", warp_id)
@@ -287,6 +325,11 @@ class GPUSimulator:
         def handle_inject(access: MemoryAccess, cycle: int) -> None:
             partition_id = self.address_map.partition_of(access.address)
             arrival = forward.traverse(partition_id, cycle)
+            if tracer is not None:
+                tracer.complete("fwd_xbar", "interconnect",
+                                trace_base + cycle, arrival - cycle,
+                                pid=PID_ICNT, tid=partition_id,
+                                args={"warp": access.warp_id})
             push(arrival, "arrive", (partition_id, access))
 
         def handle_arrive(partition_id: int, access: MemoryAccess,
@@ -350,4 +393,31 @@ class GPUSimulator:
         result.total_cycles = max(result.warp_finish.values())
         result.drain_cycles = max(result.total_cycles, last_completion)
         result.dram_stats = [p.controller.stats for p in partitions]
+
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter("sim.kernels").inc()
+            metrics.counter("sim.warps").inc(len(warps))
+            metrics.counter("sim.cycles").inc(result.total_cycles)
+            round_hist = metrics.histogram("warp.round_cycles")
+            for (warp_id, round_index), window in \
+                    sorted(result.round_windows.items()):
+                if window.start is None or window.end is None:
+                    continue
+                round_hist.observe(window.duration)
+                if tracer is not None:
+                    tracer.complete("round", "warp",
+                                    trace_base + window.start,
+                                    window.duration, tid=warp_id,
+                                    args={"round": round_index})
+            if tracer is not None:
+                tracer.instant("kernel_end", "sim",
+                               trace_base + result.drain_cycles,
+                               args={"total_cycles": result.total_cycles})
+                # Lay successive kernels end-to-end on the trace timeline.
+                tracer.advance_time_base(result.drain_cycles)
+            result.metrics = metrics.snapshot()
+            log.debug("kernel done: %d warps, %d cycles, %d accesses",
+                      len(warps), result.total_cycles,
+                      result.total_accesses)
         return result

@@ -9,9 +9,10 @@ is modelled symmetrically on the return crossbar.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
 
 __all__ = ["Crossbar"]
 
@@ -26,7 +27,9 @@ class Crossbar:
     """A per-direction crossbar with per-output-port serialization."""
 
     def __init__(self, num_ports: int, latency: int,
-                 requests_per_cycle: int = 1):
+                 requests_per_cycle: int = 1,
+                 telemetry: Optional[Telemetry] = None,
+                 name: str = "icnt"):
         if num_ports <= 0:
             raise ConfigurationError(f"port count must be positive: {num_ports}")
         if latency < 0:
@@ -36,9 +39,11 @@ class Crossbar:
                 f"requests_per_cycle must be positive: {requests_per_cycle}"
             )
         self.latency = latency
+        self.name = name
         self._interval = 1  # cycles between accepts at full rate
         self._rate = requests_per_cycle
         self._ports: List[_Port] = [_Port() for _ in range(num_ports)]
+        self._telemetry = Telemetry.ensure(telemetry)
 
     def traverse(self, port: int, inject_cycle: int, flits: int = 1) -> int:
         """Send one ``flits``-flit packet to ``port``; returns arrival cycle.
@@ -54,6 +59,16 @@ class Crossbar:
         state = self._ports[port]
         accept = max(inject_cycle, state.next_free)
         state.accepted += 1
+        if self._telemetry.enabled:
+            metrics = self._telemetry.metrics
+            metrics.counter(f"icnt.{self.name}.packets").inc()
+            metrics.counter(f"icnt.{self.name}.flits").inc(flits)
+            # Port-contention stall: cycles the packet waited for the
+            # output port beyond its injection time (the serialization
+            # component the timing attack reads).
+            metrics.counter(f"icnt.{self.name}.stall_cycles").inc(
+                accept - inject_cycle
+            )
         if flits > 1:
             state.next_free = accept + flits
         elif state.accepted % self._rate == 0:

@@ -18,6 +18,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.dram import MemoryController
 from repro.gpu.mshr import MSHRFile
 from repro.gpu.request import MemoryAccess
+from repro.telemetry import Telemetry
 
 __all__ = ["ArrivalResult", "MemoryPartition"]
 
@@ -36,12 +37,16 @@ class MemoryPartition:
     """One of the GPU's memory partitions."""
 
     def __init__(self, partition_id: int, config: GPUConfig,
-                 address_map: AddressMap):
+                 address_map: AddressMap,
+                 telemetry: Optional[Telemetry] = None):
         self.partition_id = partition_id
         self._address_map = address_map
+        self._telemetry = Telemetry.ensure(telemetry)
         self.controller = MemoryController(
             num_banks=config.num_banks,
             timing=config.dram_timing_core,
+            telemetry=telemetry,
+            partition_id=partition_id,
         )
         self.l2: Optional[SetAssociativeCache] = (
             SetAssociativeCache(config.l2_lines, config.l2_ways,
@@ -61,6 +66,9 @@ class MemoryPartition:
             if self.l2.lookup(access.address):
                 completion = cycle + self._l2_hit_latency
                 access.complete_cycle = completion
+                if self._telemetry.enabled:
+                    self._telemetry.metrics.counter(
+                        "partition.l2_hits").inc()
                 return ArrivalResult(immediate=[(access, completion)],
                                      queued=False)
 
@@ -68,6 +76,9 @@ class MemoryPartition:
             outcome = self.mshrs.lookup(access)
             if not outcome.send_to_memory:
                 # Merged into an in-flight request; completes with primary.
+                if self._telemetry.enabled:
+                    self._telemetry.metrics.counter(
+                        "partition.mshr_merges").inc()
                 return ArrivalResult(immediate=[], queued=False)
 
         decoded = self._address_map.decode(access.address)

@@ -57,6 +57,11 @@ class KernelResult:
     dram_stats: List[DramStats] = field(default_factory=list)
     #: Per-warp completion cycles.
     warp_finish: Dict[int, int] = field(default_factory=dict)
+    #: Telemetry metrics snapshot (cumulative over the owning simulator's
+    #: launches), populated only when the run was instrumented; None —
+    #: never an empty dict — for uninstrumented runs, keeping telemetry-off
+    #: results byte-identical to pre-telemetry behaviour.
+    metrics: Optional[Dict[str, object]] = None
 
     # -- recording helpers (engine-facing) -----------------------------------
 

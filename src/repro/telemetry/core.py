@@ -1,0 +1,53 @@
+"""The :class:`Telemetry` facade handed through the simulator stack.
+
+One ``Telemetry`` object bundles the metrics registry and the event tracer
+for a run (an experiment, a server lifetime, a single launch — whatever the
+caller scopes it to). Components receive it as an optional constructor
+argument; the default is the shared :meth:`Telemetry.disabled` null object,
+whose ``enabled`` flag is False, so every instrumentation site in the hot
+path reduces to a single attribute check and simulation results are
+bit-identical with telemetry off (no observer effect — enforced by
+``tests/integration/test_observer_effect.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Metrics + tracing for one instrumented simulation scope."""
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(self, enabled: bool = True,
+                 trace_capacity: int = 500_000):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(trace_capacity)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared null object (``enabled`` is False, nothing records)."""
+        return _DISABLED
+
+    @staticmethod
+    def ensure(telemetry: Optional["Telemetry"]) -> "Telemetry":
+        """Normalize an optional constructor argument."""
+        return telemetry if telemetry is not None else _DISABLED
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"Telemetry({state}, {len(self.metrics)} metrics, "
+                f"{len(self.tracer)} events)")
+
+
+#: Module-level singleton backing :meth:`Telemetry.disabled`. Guarded by
+#: ``enabled`` checks at every instrumentation site, its registries never
+#: accumulate state even though it is shared across simulators.
+_DISABLED = Telemetry(enabled=False, trace_capacity=1)

@@ -1,0 +1,95 @@
+"""Structured logging helpers for the simulator stack.
+
+Every module logs under the ``repro`` namespace (``repro.gpu.engine``,
+``repro.experiments`` ...), obtained via :func:`get_logger`, so one call to
+:func:`configure_logging` — wired to the CLI's ``-v/--verbose`` flag —
+controls the whole package. Logging stays silent by default: the root
+``repro`` logger gets a ``NullHandler`` so library users see nothing unless
+they (or the CLI) opt in.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "LOGGER_ROOT"]
+
+LOGGER_ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+logging.getLogger(LOGGER_ROOT).addHandler(logging.NullHandler())
+
+
+class _CliHandler(logging.Handler):
+    """The CLI's stderr handler.
+
+    Resolves ``sys.stderr`` at emit time (unless pinned to an explicit
+    stream), so stderr redirection/capture after configuration — pytest,
+    subprocess plumbing — keeps working instead of writing to a stale,
+    possibly closed, file object.
+    """
+
+    _repro_cli_handler = True
+
+    def __init__(self, stream=None):
+        super().__init__()
+        self._stream = stream
+
+    def set_stream(self, stream) -> None:
+        self._stream = stream
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = self._stream if self._stream is not None \
+                else sys.stderr
+            stream.write(self.format(record) + "\n")
+            stream.flush()
+        except Exception:  # pragma: no cover - mirrors logging's contract
+            self.handleError(record)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the package namespace.
+
+    ``get_logger("gpu.engine")`` and ``get_logger("repro.gpu.engine")``
+    return the same logger; modules typically call
+    ``log = get_logger(__name__)``.
+    """
+    if name == LOGGER_ROOT:
+        return logging.getLogger(LOGGER_ROOT)
+    if name.startswith(LOGGER_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_ROOT}.{name}")
+
+
+def configure_logging(verbosity: int = 0,
+                      stream=None) -> logging.Logger:
+    """Attach a stderr handler to the package root at a verbosity level.
+
+    ``verbosity`` maps 0 → WARNING, 1 → INFO, >=2 → DEBUG. Idempotent:
+    repeated calls reconfigure the existing handler instead of stacking
+    duplicates (so tests and REPL reuse are safe).
+    """
+    level = (logging.WARNING if verbosity <= 0
+             else logging.INFO if verbosity == 1
+             else logging.DEBUG)
+    root = logging.getLogger(LOGGER_ROOT)
+    root.setLevel(level)
+
+    handler: Optional[_CliHandler] = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli_handler", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = _CliHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.set_stream(stream)
+    handler.setLevel(level)
+    return root

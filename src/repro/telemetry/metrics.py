@@ -1,0 +1,221 @@
+"""Structured simulator metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments that
+instrumentation sites create lazily (``registry.counter("dram.row_hits")``)
+and experiment tooling reads back as a snapshot dict / JSON blob / rendered
+table. Everything here is zero-dependency and allocation-light: recording a
+value is an integer add, so the instruments are safe to leave in the
+simulator's hot path behind an ``enabled`` check.
+
+Conventions
+-----------
+* Names are dotted paths grouped by subsystem (``dram.``, ``icnt.``,
+  ``coalescer.``, ``warp.``, ``sim.``).
+* Counters only go up; gauges track a last value plus a high-water mark;
+  histograms use fixed bucket upper bounds fixed at creation (hardware
+  counters do not resize), with one overflow bin past the last bound.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Power-of-two bounds covering 1 cycle .. ~1M cycles; the default shape
+#: for latency/occupancy histograms.
+DEFAULT_BUCKETS: Tuple[int, ...] = tuple(2 ** i for i in range(21))
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level with a high-water mark (e.g. queue depth)."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, delta: Union[int, float]) -> None:
+        self.set(self.value + delta)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value, "peak": self.peak}
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``buckets`` are ascending inclusive upper bounds; an observation lands
+    in the first bucket whose bound is >= the value, or in the implicit
+    overflow bin. Count / sum / min / max are tracked exactly, so the mean
+    is exact even though the distribution shape is bucketed.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[Union[int, float]] = DEFAULT_BUCKETS):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name} needs at least one bucket bound"
+            )
+        if any(b >= n for b, n in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} bounds must be strictly increasing"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[Union[int, float]] = None
+        self.max: Optional[Union[int, float]] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        # Linear scan: bucket lists are short (~20) and typical values
+        # land early; bisect would add an import for no measured win.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Union[int, float]:
+        """Approximate q-quantile (0..1) from bucket upper bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.max if self.max is not None else 0
+        return self.max if self.max is not None else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A flat, lazily populated namespace of named instruments."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _get(self, name: str, kind: type, factory) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[Union[int, float]] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments as plain dicts, sorted by name."""
+        return {name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_table(self) -> str:
+        """Human-readable snapshot (the ``rcoal metrics`` output)."""
+        rows: List[Tuple[str, str]] = []
+        for name, data in self.snapshot().items():
+            if data["type"] == "counter":
+                rows.append((name, str(data["value"])))
+            elif data["type"] == "gauge":
+                rows.append((name, f"{data['value']} (peak {data['peak']})"))
+            else:
+                rows.append((
+                    name,
+                    f"count={data['count']} mean={data['mean']:.1f} "
+                    f"min={data['min']} max={data['max']}",
+                ))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name.ljust(width)}  {value}"
+                         for name, value in rows)

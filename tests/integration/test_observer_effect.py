@@ -1,0 +1,75 @@
+"""Telemetry must not perturb the simulation (no observer effect).
+
+The telemetry layer only *reads* engine state; enabling it must leave every
+attacker-visible observable and every internal statistic byte-identical.
+These tests pin that contract against the golden seed used by
+``tests/test_golden.py``, so a telemetry regression that shifts timing
+shows up as loudly as a timing-model change would.
+"""
+
+import dataclasses
+
+from repro.core.policies import make_policy
+from repro.rng import RngStream
+from repro.telemetry import Telemetry
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+GOLDEN_SEED = 777
+
+
+def _run(policy_name, subwarps, telemetry):
+    key = bytes(RngStream(GOLDEN_SEED, "key").random_bytes(16))
+    plaintext = random_plaintexts(1, 32, RngStream(GOLDEN_SEED, "pt"))[0]
+    policy = make_policy(policy_name, subwarps)
+    rng = (RngStream(GOLDEN_SEED, "victim")
+           if policy.is_randomized else None)
+    server = EncryptionServer(key, policy, rng=rng,
+                              retain_kernel_results=True,
+                              telemetry=telemetry)
+    return server.encrypt(plaintext)
+
+
+def _assert_identical(disabled, enabled):
+    # Every attacker-visible observable.
+    assert enabled.ciphertext == disabled.ciphertext
+    assert enabled.total_time == disabled.total_time
+    assert enabled.last_round_time == disabled.last_round_time
+    assert enabled.total_accesses == disabled.total_accesses
+    assert enabled.last_round_accesses == disabled.last_round_accesses
+    assert enabled.round_accesses == disabled.round_accesses
+    assert enabled.last_round_byte_accesses \
+        == disabled.last_round_byte_accesses
+    # Every KernelResult field except the telemetry snapshot itself.
+    off, on = disabled.kernel_result, enabled.kernel_result
+    for field in dataclasses.fields(type(off)):
+        if field.name == "metrics":
+            continue
+        assert getattr(on, field.name) == getattr(off, field.name), \
+            f"KernelResult.{field.name} changed under telemetry"
+    assert off.metrics is None
+    assert on.metrics is not None
+
+
+class TestNoObserverEffect:
+    def test_baseline_run_is_bit_identical(self):
+        disabled = _run("baseline", 1, None)
+        enabled = _run("baseline", 1, Telemetry())
+        _assert_identical(disabled, enabled)
+        # And the seed-era golden values still hold with telemetry on.
+        assert enabled.total_time == 7805
+        assert enabled.total_accesses == 2283
+
+    def test_randomized_run_is_bit_identical(self):
+        # Randomized policies draw from the victim stream; telemetry must
+        # not consume or reorder any draws.
+        disabled = _run("rss_rts", 8, None)
+        enabled = _run("rss_rts", 8, Telemetry())
+        _assert_identical(disabled, enabled)
+        assert enabled.partitions[0] == disabled.partitions[0]
+
+    def test_tiny_trace_capacity_does_not_perturb_timing(self):
+        # Ring-buffer eviction pressure must stay invisible to the model.
+        disabled = _run("baseline", 1, None)
+        enabled = _run("baseline", 1, Telemetry(trace_capacity=16))
+        _assert_identical(disabled, enabled)

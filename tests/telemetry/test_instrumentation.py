@@ -1,0 +1,93 @@
+"""The telemetry plumbing through the simulator stack."""
+
+from repro.core.policies import make_policy
+from repro.rng import RngStream
+from repro.telemetry import Telemetry
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+SEED = 777
+
+
+def _instrumented_server(telemetry, policy_name="baseline", subwarps=1):
+    key = bytes(RngStream(SEED, "key").random_bytes(16))
+    policy = make_policy(policy_name, subwarps)
+    rng = (RngStream(SEED, "victim") if policy.is_randomized else None)
+    return EncryptionServer(key, policy, rng=rng, telemetry=telemetry)
+
+
+class TestInstrumentedRun:
+    def test_all_pipeline_categories_present(self):
+        telemetry = Telemetry()
+        server = _instrumented_server(telemetry)
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        server.encrypt(plaintext)
+        assert {"warp", "coalescer", "interconnect", "dram"} \
+            <= telemetry.tracer.categories()
+
+    def test_metrics_cover_the_issue_catalogue(self):
+        telemetry = Telemetry()
+        server = _instrumented_server(telemetry)
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        record = server.encrypt(plaintext)
+        metrics = telemetry.metrics
+        # Coalescer: every generated access is counted.
+        assert metrics.counter("coalescer.accesses").value \
+            == record.total_accesses
+        # DRAM: hit/miss split matches the controller's own stats.
+        dram = metrics.counter("dram.row_hits").value \
+            + metrics.counter("dram.row_misses").value
+        assert dram == metrics.counter("dram.reads").value \
+            + metrics.counter("dram.writes").value
+        assert "dram.queue_depth" in metrics
+        assert "warp.round_cycles" in metrics
+        assert metrics.counter("sim.kernels").value == 1
+
+    def test_kernel_result_carries_metrics_snapshot(self):
+        telemetry = Telemetry()
+        server = _instrumented_server(telemetry)
+        server.retain_kernel_results = True
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        record = server.encrypt(plaintext)
+        assert record.kernel_result.metrics is not None
+        assert record.kernel_result.metrics["sim.kernels"]["value"] == 1
+
+    def test_uninstrumented_result_has_no_metrics(self):
+        server = _instrumented_server(None)
+        server.retain_kernel_results = True
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        record = server.encrypt(plaintext)
+        assert record.kernel_result.metrics is None
+
+    def test_kernels_lay_end_to_end_on_the_timeline(self):
+        telemetry = Telemetry()
+        server = _instrumented_server(telemetry)
+        plaintexts = random_plaintexts(2, 32, RngStream(SEED, "pt"))
+        server.encrypt(plaintexts[0])
+        first_max_ts = max(e.ts for e in telemetry.tracer.events)
+        base_after_first = telemetry.tracer.time_base
+        assert base_after_first > first_max_ts
+        server.encrypt(plaintexts[1])
+        second_events = [e for e in telemetry.tracer.events
+                         if e.ts >= base_after_first]
+        assert second_events  # second kernel starts past the first
+
+    def test_randomized_policy_is_instrumented_too(self):
+        telemetry = Telemetry()
+        server = _instrumented_server(telemetry, "rss_rts", 8)
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        server.encrypt(plaintext)
+        # Subwarping shows up in the coalescer histogram.
+        hist = telemetry.metrics.histogram(
+            "coalescer.subwarps_per_instruction")
+        assert hist.max > 1
+
+    def test_disabled_null_object_records_nothing(self):
+        disabled = Telemetry.disabled()
+        assert disabled is Telemetry.disabled()  # shared singleton
+        assert not disabled.enabled
+        server = _instrumented_server(disabled)
+        plaintext = random_plaintexts(1, 32, RngStream(SEED, "pt"))[0]
+        server.encrypt(plaintext)
+        assert len(disabled.metrics) == 0
+        assert len(disabled.tracer) == 0

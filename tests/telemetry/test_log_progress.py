@@ -1,0 +1,76 @@
+"""Logger namespacing / idempotent configuration, and progress reporting."""
+
+import io
+import logging
+
+from repro.telemetry import ProgressReporter, configure_logging, get_logger
+from repro.telemetry.log import LOGGER_ROOT
+
+
+class TestLogging:
+    def test_loggers_live_under_the_package_namespace(self):
+        assert get_logger("gpu.engine").name == f"{LOGGER_ROOT}.gpu.engine"
+        assert get_logger("repro.gpu.dram").name == "repro.gpu.dram"
+        assert get_logger(LOGGER_ROOT).name == LOGGER_ROOT
+
+    def test_configure_is_idempotent(self):
+        root = logging.getLogger(LOGGER_ROOT)
+        configure_logging(1)
+        configure_logging(2)
+        marked = [h for h in root.handlers
+                  if getattr(h, "_repro_cli_handler", False)]
+        assert len(marked) == 1  # no handler stacking on reconfigure
+        assert root.level == logging.DEBUG
+        root.removeHandler(marked[0])
+        configure_logging(0)  # quiet again; re-attaches one at WARNING
+        marked = [h for h in root.handlers
+                  if getattr(h, "_repro_cli_handler", False)]
+        assert len(marked) == 1
+        assert root.level == logging.WARNING
+
+    def test_verbosity_levels(self):
+        stream = io.StringIO()
+        root = configure_logging(1, stream=stream)
+        try:
+            get_logger("test.module").info("hello %d", 7)
+            get_logger("test.module").debug("invisible")
+        finally:
+            handler = next(h for h in root.handlers
+                           if getattr(h, "_repro_cli_handler", False))
+            handler.set_stream(None)  # back to dynamic sys.stderr
+            configure_logging(0)
+        output = stream.getvalue()
+        assert "hello 7" in output
+        assert "repro.test.module" in output
+        assert "invisible" not in output
+
+
+class TestProgressReporter:
+    def test_reports_counts_percent_and_eta(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, label="fss", stream=stream,
+                                    min_interval=0.0)
+        reporter.update()
+        reporter.update()
+        output = stream.getvalue()
+        assert "fss" in output
+        assert "2/4" in output and "(50%)" in output
+        assert "eta" in output
+        reporter.update(2)
+        reporter.finish()
+        assert "4/4" in stream.getvalue()
+        assert stream.getvalue().endswith("\n")
+
+    def test_disabled_reporter_writes_nothing(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(10, stream=stream, enabled=False)
+        reporter.update()
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_zero_total_is_a_noop(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(0, stream=stream)
+        reporter.update()
+        reporter.finish()
+        assert stream.getvalue() == ""

@@ -1,0 +1,115 @@
+"""Counter / gauge / histogram semantics and registry behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.to_dict() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.peak == 9
+
+    def test_add_is_relative(self):
+        gauge = Gauge("g")
+        gauge.add(4)
+        gauge.add(-3)
+        assert gauge.value == 1
+        assert gauge.peak == 4
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        for value in (1, 2, 2, 3, 4, 5):
+            hist.observe(value)
+        # value<=1 -> bin0, <=2 -> bin1, <=4 -> bin2, else overflow.
+        assert hist.counts == [1, 2, 2, 1]
+        assert hist.count == 6
+        assert hist.min == 1 and hist.max == 5
+        assert hist.mean == pytest.approx(17 / 6)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(4, 2))
+
+    def test_percentile_from_buckets(self):
+        hist = Histogram("h", buckets=(10, 20, 40))
+        for value in (5, 5, 15, 35):
+            hist.observe(value)
+        assert hist.percentile(0.5) == 10
+        assert hist.percentile(1.0) == 40
+        with pytest.raises(ConfigurationError):
+            hist.percentile(1.5)
+
+    def test_empty_histogram_is_safe(self):
+        hist = Histogram("h", buckets=(1,))
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+        assert "a" in registry
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(7)
+        registry.histogram("c.dist", buckets=(1, 2)).observe(1)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.level", "b.count", "c.dist"]
+        assert snapshot["b.count"] == {"type": "counter", "value": 2}
+        # JSON round-trips (no exotic objects inside).
+        assert json.loads(registry.to_json()) == snapshot
+
+    def test_render_table_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("dram.reads").inc(5)
+        registry.gauge("queue").set(3)
+        registry.histogram("lat", buckets=(8, 16)).observe(9)
+        table = registry.render_table()
+        for name in ("dram.reads", "queue", "lat"):
+            assert name in table
+        assert "peak" in table and "mean" in table
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render_table()

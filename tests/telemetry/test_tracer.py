@@ -1,0 +1,78 @@
+"""Ring-buffer eviction and Chrome trace_event export schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import PID_DRAM, Tracer
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+    def test_eviction_keeps_newest(self):
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            tracer.instant(f"e{i}", "test", ts=i)
+        assert len(tracer) == 4
+        assert tracer.recorded == 6
+        assert tracer.dropped == 2
+        names = [event.name for event in tracer.events]
+        assert names == ["e2", "e3", "e4", "e5"]
+
+    def test_categories(self):
+        tracer = Tracer()
+        tracer.instant("a", "dram", ts=0)
+        tracer.complete("b", "warp", ts=0, dur=5)
+        assert tracer.categories() == {"dram", "warp"}
+
+    def test_time_base_advances(self):
+        tracer = Tracer()
+        assert tracer.time_base == 0
+        tracer.advance_time_base(500, gap=100)
+        assert tracer.time_base == 600
+
+
+class TestChromeExport:
+    def _sample_tracer(self) -> Tracer:
+        tracer = Tracer()
+        tracer.complete("column_hit", "dram", ts=10, dur=4,
+                        pid=PID_DRAM, tid=3, args={"bank": 1})
+        tracer.instant("warp_finish", "warp", ts=42, tid=7)
+        return tracer
+
+    def test_chrome_trace_schema(self):
+        trace = self._sample_tracer().chrome_trace()
+        assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        # Metadata names the three simulated processes.
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metadata} \
+            == {"sm", "interconnect", "dram"}
+        payload = [e for e in events if e["ph"] != "M"]
+        for event in payload:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        complete = next(e for e in payload if e["ph"] == "X")
+        assert complete["dur"] == 4
+        assert complete["args"] == {"bank": 1}
+        instant = next(e for e in payload if e["ph"] == "i")
+        assert instant["s"] == "t"
+
+    def test_chrome_trace_is_json_serializable(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tracer.write_chrome_trace(str(tmp_path / "trace.json"))
+        loaded = json.loads(open(path, encoding="utf-8").read())
+        assert loaded["otherData"]["recorded"] == 2
+        assert len(loaded["traceEvents"]) == 5  # 3 metadata + 2 events
+
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tracer.write_jsonl(str(tmp_path / "trace.jsonl"))
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "column_hit"
+        assert parsed[1]["cat"] == "warp"

@@ -1,5 +1,7 @@
 """Tests for the command-line runner."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -28,3 +30,56 @@ class TestCli:
     def test_unknown_experiment_raises(self):
         with pytest.raises(ConfigurationError):
             main(["fig99"])
+
+
+class TestTelemetryCommands:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "fig05", "--samples", "4",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace written to" in stdout
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert events, "trace must contain events"
+        categories = {e["cat"] for e in events if "cat" in e}
+        assert {"dram", "interconnect", "coalescer"} <= categories
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+
+    def test_trace_jsonl_sidecar(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["trace", "fig05", "--samples", "2",
+                     "--out", str(out), "--jsonl", str(jsonl)]) == 0
+        lines = jsonl.read_text(encoding="utf-8").splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_metrics_prints_snapshot_table(self, tmp_path, capsys):
+        json_out = tmp_path / "metrics.json"
+        assert main(["metrics", "fig05", "--samples", "2",
+                     "--json", str(json_out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "telemetry metrics snapshot" in stdout
+        assert "dram.row_hits" in stdout
+        assert "coalescer.accesses" in stdout
+        snapshot = json.loads(json_out.read_text(encoding="utf-8"))
+        assert snapshot["sim.kernels"]["value"] == 2
+
+    def test_trace_capacity_bounds_the_buffer(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "fig05", "--samples", "2",
+                     "--out", str(out), "--capacity", "100"]) == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        payload = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert len(payload) == 100
+        assert trace["otherData"]["dropped"] > 0
+
+    def test_verbose_flag_accepted(self, capsys):
+        from repro.telemetry import configure_logging
+        try:
+            assert main(["fig09", "--seed", "3", "-v"]) == 0
+            assert "fig09" in capsys.readouterr().out
+        finally:
+            configure_logging(0)  # quiet the package root again
