@@ -1,7 +1,7 @@
 # Convenience targets for the RCoal reproduction.
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
-        profile clean
+        profile perf clean
 
 install:
 	pip install -e '.[test]'
@@ -32,6 +32,11 @@ trace:
 # Print the telemetry metrics snapshot for a baseline run.
 profile:
 	REPRO_FAST=1 rcoal metrics fig05
+
+# Time the simulator substrate and write the next BENCH_<n>.json;
+# see docs/performance.md.
+perf:
+	rcoal bench -j 2
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -142,19 +142,34 @@ class TTableAES:
     @staticmethod
     def _main_round(state: List[List[int]], round_key: bytes
                     ) -> Tuple[List[List[int]], List[Lookup]]:
-        """One T-table round: 16 lookups (4 columns x tables T0..T3)."""
+        """One T-table round: 16 lookups (4 columns x tables T0..T3).
+
+        Unrolled over the four tables: this runs once per round per
+        plaintext line (9216 times for a 1024-line launch), making it one
+        of the hottest pure-Python loops outside the timing engine.
+        """
         lookups: List[Lookup] = []
+        append = lookups.append
+        row0, row1, row2, row3 = state
+        t0, t1, t2, t3 = ROUND_TABLES
         new_state = [[0] * 4 for _ in range(4)]
         for c in range(4):
-            acc = [round_key[4 * c + r] for r in range(4)]
-            for table_id in range(4):
-                index = state[table_id][(c + table_id) % 4]
-                lookups.append((table_id, index))
-                entry = ROUND_TABLES[table_id][index]
-                for r in range(4):
-                    acc[r] ^= entry[r]
+            i0 = row0[c]
+            i1 = row1[(c + 1) % 4]
+            i2 = row2[(c + 2) % 4]
+            i3 = row3[(c + 3) % 4]
+            append((0, i0))
+            append((1, i1))
+            append((2, i2))
+            append((3, i3))
+            e0 = t0[i0]
+            e1 = t1[i1]
+            e2 = t2[i2]
+            e3 = t3[i3]
+            k = 4 * c
             for r in range(4):
-                new_state[r][c] = acc[r]
+                new_state[r][c] = (round_key[k + r] ^ e0[r] ^ e1[r]
+                                   ^ e2[r] ^ e3[r])
         return new_state, lookups
 
     @staticmethod

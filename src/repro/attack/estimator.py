@@ -15,9 +15,12 @@ victim's per-launch draw) and shared across all 256 guesses and 16 byte
 positions: redrawing per guess would only add attacker-side noise without
 information.
 
-The hot path is fully vectorized: for each guess the (sample, group, block)
-triples are packed into integers and counted per sample via one
-``np.unique``.
+The hot path is fully vectorized with no per-guess sorting: group
+membership is fixed once per batch (``prepare`` sorts lines by group and
+records run boundaries), so every guess only needs a gather through the
+inverse S-box, one OR-``reduceat`` per group to build a per-group bitmask
+of touched blocks, and a popcount table lookup — batched across all 256
+guesses at once.
 """
 
 from __future__ import annotations
@@ -36,6 +39,19 @@ __all__ = ["AccessEstimator"]
 
 _INV_SBOX_ARR = np.array(INV_SBOX, dtype=np.uint8)
 _BLOCK_SHIFT = ENTRIES_PER_BLOCK.bit_length() - 1  # 16 entries -> shift 4
+
+#: bit b set in a group's mask <=> the group touched table block b.
+_BLOCK_BIT = np.left_shift(1, np.arange(NUM_TABLE_BLOCKS), dtype=np.int32)
+
+
+def _popcount_table(num_bits: int) -> np.ndarray:
+    table = np.array([0], dtype=np.uint8)
+    for _ in range(num_bits):
+        table = np.concatenate([table, table + 1])
+    return table
+
+
+_POPCOUNT = _popcount_table(NUM_TABLE_BLOCKS)
 
 
 class AccessEstimator:
@@ -65,6 +81,9 @@ class AccessEstimator:
         self._labels: Optional[np.ndarray] = None
         self._num_samples = 0
         self._num_lines = 0
+        self._order: Optional[np.ndarray] = None
+        self._run_starts: Optional[np.ndarray] = None
+        self._sample_starts: Optional[np.ndarray] = None
 
     # -- sample registration ----------------------------------------------
 
@@ -102,6 +121,28 @@ class AccessEstimator:
         self._num_lines = num_lines
         self._group_stride = group_stride
 
+        # Group membership is guess-independent, so the expensive part of
+        # distinct-(group, block) counting — bringing each group's lines
+        # together — happens once here, not per guess: lines sorted by
+        # label, the start of each label run, and the start of each
+        # sample's run of runs (labels are sample-major by construction).
+        flat_labels = labels.reshape(-1)
+        order = np.argsort(flat_labels, kind="stable")
+        sorted_labels = flat_labels[order]
+        boundary = np.empty(sorted_labels.shape, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_labels[1:], sorted_labels[:-1],
+                     out=boundary[1:])
+        run_starts = np.flatnonzero(boundary)
+        run_samples = sorted_labels[run_starts] // group_stride
+        sample_boundary = np.empty(run_samples.shape, dtype=bool)
+        sample_boundary[0] = True
+        np.not_equal(run_samples[1:], run_samples[:-1],
+                     out=sample_boundary[1:])
+        self._order = order
+        self._run_starts = run_starts
+        self._sample_starts = np.flatnonzero(sample_boundary)
+
     def reset(self) -> None:
         """Forget the prepared batch (e.g. before attacking a new or
         truncated sample set). Randomized models will draw fresh
@@ -109,6 +150,9 @@ class AccessEstimator:
         self._labels = None
         self._num_samples = 0
         self._num_lines = 0
+        self._order = None
+        self._run_starts = None
+        self._sample_starts = None
 
     # -- estimation -----------------------------------------------------------
 
@@ -141,16 +185,22 @@ class AccessEstimator:
             for line, block in enumerate(sample):
                 cipher_bytes[n, line] = block[byte_index]
 
+        # Gather once into group-sorted order; then per guess the distinct
+        # blocks of a group are the set bits of an OR over its run. Guesses
+        # are processed in chunks to bound the (guesses x lines) working
+        # set for large batches.
+        cb_sorted = cipher_bytes.reshape(-1)[self._order]
         matrix = np.empty((256, self._num_samples), dtype=np.int32)
-        scaled_labels = self._labels * NUM_TABLE_BLOCKS
-        sample_stride = self._group_stride * NUM_TABLE_BLOCKS
-        for guess in range(256):
-            indices = _INV_SBOX_ARR[cipher_bytes ^ np.uint8(guess)]
-            blocks = (indices >> _BLOCK_SHIFT).astype(np.int64)
-            combined = scaled_labels + blocks
-            unique = np.unique(combined)
-            matrix[guess] = np.bincount(unique // sample_stride,
-                                        minlength=self._num_samples)
+        guesses = np.arange(256, dtype=np.uint8)
+        chunk = max(1, (1 << 24) // max(1, cb_sorted.size))
+        for g0 in range(0, 256, chunk):
+            gs = guesses[g0:g0 + chunk]
+            indices = _INV_SBOX_ARR[cb_sorted[None, :] ^ gs[:, None]]
+            bits = _BLOCK_BIT[indices >> _BLOCK_SHIFT]
+            masks = np.bitwise_or.reduceat(bits, self._run_starts, axis=1)
+            counts = _POPCOUNT[masks].astype(np.int32, copy=False)
+            matrix[g0:g0 + chunk] = np.add.reduceat(
+                counts, self._sample_starts, axis=1)
         return matrix
 
     def estimate_sample(self, cipher_lines: Sequence[bytes], byte_index: int,

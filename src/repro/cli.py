@@ -5,17 +5,24 @@ Usage::
     rcoal list                     # show available experiments
     rcoal fig06                    # regenerate Fig 6
     rcoal fig15 --samples 40       # smaller run
+    rcoal fig07 -j 4               # fan samples out over 4 processes
     rcoal all                      # regenerate everything (slow)
+    rcoal all -j 8                 # parallel, byte-identical output
 
 Observability subcommands (see ``docs/observability.md``)::
 
     rcoal trace fig05 --out trace.json    # Chrome trace_event JSON
     rcoal metrics fig05                   # metrics snapshot table
+
+Benchmarks (see ``docs/performance.md``)::
+
+    rcoal bench                    # time workloads, emit BENCH_<n>.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -36,6 +43,9 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="root experiment seed (default 2018)")
     parser.add_argument("--samples", type=int, default=None,
                         help="override plaintext sample count")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU); results "
+                             "are bit-identical to -j 1")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="enable repro.* logging on stderr "
                              "(-v info, -vv debug)")
@@ -103,12 +113,16 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     capacity = getattr(args, "capacity", 500_000)
     telemetry = Telemetry(trace_capacity=capacity)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
-                            telemetry=telemetry, progress=args.progress)
+                            telemetry=telemetry, progress=args.progress,
+                            jobs=args.jobs)
 
     start = time.time()
     result = run_experiment(args.experiment, ctx)
     print(result.render())
-    print(f"[{args.experiment} completed in {time.time() - start:.1f}s]")
+    # Timing goes to stderr: stdout stays bit-identical across runs and
+    # across -j settings, so outputs can be diffed directly (CI does).
+    print(f"[{args.experiment} completed in {time.time() - start:.1f}s]",
+          file=sys.stderr)
     print()
 
     if command == "trace":
@@ -134,10 +148,50 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     return 0
 
 
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal bench",
+        description="Time representative workloads (full-timing kernel, "
+                    "counts-only sweep, full fig07 harness) and write a "
+                    "BENCH_<n>.json perf report.",
+    )
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="also time fig07 through the parallel runner "
+                             "with this many workers (0 = one per CPU)")
+    parser.add_argument("--samples", type=int, default=12,
+                        help="fig07 sample count (default 12)")
+    parser.add_argument("--lines", type=int, default=256,
+                        help="counts-sweep plaintext lines (default 256)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="take the best of N runs per workload")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="root experiment seed (default 2018)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="report path (default: next free "
+                             "BENCH_<n>.json in the CWD)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="enable repro.* logging on stderr")
+    return parser
+
+
+def _run_bench_command(argv: List[str]) -> int:
+    args = _build_bench_parser().parse_args(argv)
+    configure_logging(args.verbose or 1)
+    from repro.experiments.bench import render_report, run_bench, write_bench
+    jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
+    report = run_bench(jobs=jobs, samples=args.samples, lines=args.lines,
+                       repeat=args.repeat, seed=args.seed)
+    print(render_report(report))
+    print(f"[bench report written to {write_bench(report, args.out)}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in _TELEMETRY_COMMANDS:
         return _run_telemetry_command(argv[0], argv[1:])
+    if argv and argv[0] == "bench":
+        return _run_bench_command(argv[1:])
 
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)
@@ -150,18 +204,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
-                            progress=args.progress)
+                            progress=args.progress, jobs=args.jobs)
 
     multiple = len(ids) > 1
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id, ctx)
+
+    def _emit(experiment_id: str, result, seconds: float) -> None:
         print(result.render())
         if args.chart is not None:
             from repro.experiments.charts import result_chart
             print()
             print(result_chart(result, column=args.chart))
-        print(f"[{experiment_id} completed in {time.time() - start:.1f}s]")
+        # stderr, so stdout diffs clean across runs and -j settings.
+        print(f"[{experiment_id} completed in {seconds:.1f}s]",
+              file=sys.stderr)
         print()
         if args.csv:
             from repro.experiments.export import write_csv
@@ -173,6 +228,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             target = (f"{args.json}.{experiment_id}.json" if multiple
                       else args.json)
             print(f"[json written to {write_json(result, target)}]")
+
+    if multiple and ctx.effective_jobs() > 1:
+        # Whole experiments fan out across the pool; output order (and
+        # bytes) match a serial run.
+        from repro.experiments.runner import run_experiments_parallel
+        for experiment_id, result, seconds in run_experiments_parallel(
+                ids, ctx, ctx.effective_jobs()):
+            _emit(experiment_id, result, seconds)
+        return 0
+
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, ctx)
+        _emit(experiment_id, result, time.time() - start)
     return 0
 
 

@@ -17,6 +17,7 @@ default to the paper's and honor ``REPRO_SAMPLES`` / ``REPRO_FAST``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,9 +36,11 @@ __all__ = [
     "ExperimentContext",
     "ExperimentResult",
     "MECHANISMS",
+    "build_server",
     "collect_records",
     "corresponding_attack",
     "run_corresponding_attack",
+    "victim_stream_name",
 ]
 
 #: The four defense mechanisms compared throughout Section VI, paper order.
@@ -62,6 +65,10 @@ class ExperimentContext:
     telemetry: Optional[Telemetry] = None
     #: Per-sample ETA reporting on stderr (also enabled by REPRO_PROGRESS).
     progress: bool = False
+    #: Worker processes for sample collection (1 = in-process serial; 0 =
+    #: one per CPU). Parallel runs are bit-identical to serial because all
+    #: per-sample randomness is derived from (root_seed, stream, sample).
+    jobs: int = 1
 
     def sample_count(self, paper: int = 100, fast: int = 40) -> int:
         if self.samples is not None:
@@ -70,6 +77,22 @@ class ExperimentContext:
 
     def stream(self, name: str) -> RngStream:
         return RngStream(self.root_seed, name)
+
+    def sample_stream(self, name: str, index: int) -> RngStream:
+        """The stream for sample ``index`` of per-sample family ``name``.
+
+        Derived directly from ``(root_seed, name, index)`` rather than by
+        advancing one sequential stream, so any worker can reproduce any
+        sample's draws without replaying the samples before it — the
+        keystone of the parallel runner's bit-identical fan-out.
+        """
+        return RngStream(self.root_seed, f"{name}#sample{index}")
+
+    def effective_jobs(self) -> int:
+        """``jobs`` with 0 resolved to the machine's CPU count."""
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        return max(1, self.jobs)
 
     def secret_key(self) -> bytes:
         """The victim's AES key for this experiment run."""
@@ -100,6 +123,34 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+def victim_stream_name(policy: CoalescingPolicy) -> str:
+    """The per-sample stream family the victim draws from under a policy."""
+    return f"victim-{policy.describe()}"
+
+
+def build_server(
+    ctx: ExperimentContext,
+    policy: CoalescingPolicy,
+    counts_only: bool = False,
+    retain_kernel_results: bool = False,
+    telemetry=None,
+) -> EncryptionServer:
+    """Stand up the experiment's victim server (shared by serial/parallel).
+
+    The server's instance stream is never consumed during collection —
+    every launch passes an explicit per-sample stream — but randomized
+    policies still get one so ad-hoc ``encrypt`` calls keep working.
+    """
+    return EncryptionServer(
+        ctx.secret_key(), policy, config=ctx.config,
+        rng=(ctx.stream(victim_stream_name(policy))
+             if policy.is_randomized else None),
+        counts_only=counts_only,
+        retain_kernel_results=retain_kernel_results,
+        telemetry=telemetry,
+    )
+
+
 def collect_records(
     ctx: ExperimentContext,
     policy: CoalescingPolicy,
@@ -111,27 +162,35 @@ def collect_records(
 
     The plaintext batch and the key depend only on the context seed, so
     every mechanism in a comparison sees identical inputs; the victim's
-    per-launch draws come from a policy-specific stream.
+    per-launch draws come from a per-(policy, sample) stream derived from
+    ``(root_seed, stream name, sample index)``. Because no sample's draws
+    depend on the samples before it, a ``ctx.jobs > 1`` context fans the
+    batch out across worker processes with bit-identical results.
     """
+    if ctx.effective_jobs() > 1 and num_samples > 1:
+        from repro.experiments.runner import collect_records_parallel
+        return collect_records_parallel(
+            ctx, policy, num_samples,
+            counts_only=counts_only,
+            retain_kernel_results=retain_kernel_results,
+        )
     plaintexts = random_plaintexts(num_samples, ctx.lines,
                                    ctx.stream("workload"))
-    victim_rng = ctx.stream(f"victim-{policy.describe()}")
-    server = EncryptionServer(
-        ctx.secret_key(), policy, config=ctx.config,
-        rng=victim_rng if policy.is_randomized else None,
-        counts_only=counts_only,
-        retain_kernel_results=retain_kernel_results,
-        telemetry=ctx.telemetry,
-    )
+    server = build_server(ctx, policy, counts_only=counts_only,
+                          retain_kernel_results=retain_kernel_results,
+                          telemetry=ctx.telemetry)
     log.info("collecting %d samples under %s%s", num_samples,
              policy.describe(), " (counts only)" if counts_only else "")
     reporter = ProgressReporter(
         num_samples, label=policy.describe(),
         enabled=ctx.progress or env_flag("REPRO_PROGRESS"),
     )
+    stream_name = victim_stream_name(policy)
     records = []
-    for plaintext in plaintexts:
-        records.append(server.encrypt(plaintext))
+    for index, plaintext in enumerate(plaintexts):
+        records.append(server.encrypt(
+            plaintext, rng=ctx.sample_stream(stream_name, index)
+        ))
         reporter.update()
     reporter.finish()
     return server, records

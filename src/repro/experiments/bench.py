@@ -1,0 +1,174 @@
+"""Repeatable performance benchmarks for the simulator substrate.
+
+``rcoal bench`` times three representative workloads and writes the
+numbers to a committed ``BENCH_<n>.json`` so every PR leaves a perf
+trajectory to regress against:
+
+* ``timing_kernel`` — full discrete-event kernel simulation (the
+  dominant cost of every figure): paper-shaped 32-line launches under
+  ``rss_rts``, reported as ms/launch and simulated cycles per wall
+  second (the ROADMAP's ``sim.cycles / wall-second`` metric);
+* ``counts_sweep`` — the combinatorial counts-only fast path at Fig
+  18 scale (wide plaintexts, no timing engine), reported as ms/sample;
+* ``fig07`` — one complete experiment harness end-to-end (collection
+  for every mechanism in the subwarp sweep plus the corresponding
+  attacks), the unit of ``rcoal all`` throughput. With ``--jobs N`` the
+  same experiment is also run through the process-parallel runner and
+  the serial/parallel speedup recorded.
+
+Wall-clock numbers are machine-dependent; the JSON embeds enough host
+metadata (CPU count, Python version) to compare like with like. Use
+``--repeat`` to take the best of R runs when the machine is noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.policies import make_policy
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.telemetry import get_logger
+
+__all__ = ["default_bench_path", "run_bench", "write_bench"]
+
+log = get_logger(__name__)
+
+#: Workload sizing: big enough to dominate process/pool startup, small
+#: enough that the full bench suite stays in CI-friendly territory.
+TIMING_LAUNCHES = 8
+COUNTS_SAMPLES = 4
+
+
+def default_bench_path(directory: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` in ``directory``.
+
+    PR *n* commits ``BENCH_<n>.json``; scanning for the highest existing
+    index keeps the sequence going without anyone tracking state.
+    """
+    highest = -1
+    for name in os.listdir(directory or "."):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, f"BENCH_{highest + 1}.json")
+
+
+def _best_of(fn: Callable[[], object], repeat: int) -> Tuple[float, object]:
+    """Run ``fn`` ``repeat`` times; return (best wall seconds, last value)."""
+    best = float("inf")
+    value: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
+              repeat: int = 1, seed: int = 2018) -> Dict[str, object]:
+    """Time the benchmark workloads; returns the report as a dict."""
+    report: Dict[str, object] = {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "config": {"jobs": jobs, "samples": samples, "lines": lines,
+                   "repeat": repeat, "seed": seed},
+        "workloads": {},
+    }
+    workloads: Dict[str, Dict[str, object]] = report["workloads"]
+
+    # -- full-timing kernel simulation -----------------------------------
+    ctx = ExperimentContext(root_seed=seed, samples=TIMING_LAUNCHES)
+    policy = make_policy("rss_rts", 8)
+    log.info("bench: timing_kernel (%d launches)", TIMING_LAUNCHES)
+    seconds, collected = _best_of(
+        lambda: collect_records(ctx, policy, TIMING_LAUNCHES), repeat
+    )
+    _, records = collected
+    simulated_cycles = sum(r.total_time for r in records)
+    workloads["timing_kernel"] = {
+        "description": "full discrete-event simulation, 32-line rss_rts "
+                       "launches",
+        "launches": TIMING_LAUNCHES,
+        "seconds": round(seconds, 4),
+        "ms_per_launch": round(seconds / TIMING_LAUNCHES * 1e3, 2),
+        "sim_cycles_per_second": round(simulated_cycles / seconds),
+    }
+
+    # -- counts-only fast path (Fig 18 scale) ----------------------------
+    ctx = ExperimentContext(root_seed=seed, samples=COUNTS_SAMPLES,
+                            lines=lines)
+    log.info("bench: counts_sweep (%d samples x %d lines)",
+             COUNTS_SAMPLES, lines)
+    seconds, _ = _best_of(
+        lambda: collect_records(ctx, policy, COUNTS_SAMPLES,
+                                counts_only=True), repeat
+    )
+    workloads["counts_sweep"] = {
+        "description": f"counts-only collection, {lines}-line plaintexts",
+        "samples": COUNTS_SAMPLES,
+        "lines": lines,
+        "seconds": round(seconds, 4),
+        "ms_per_sample": round(seconds / COUNTS_SAMPLES * 1e3, 2),
+    }
+
+    # -- one full experiment harness -------------------------------------
+    from repro.experiments.registry import run_experiment
+    serial_ctx = ExperimentContext(root_seed=seed, samples=samples)
+    log.info("bench: fig07 (samples=%d, serial)", samples)
+    serial_seconds, _ = _best_of(
+        lambda: run_experiment("fig07", serial_ctx), repeat
+    )
+    workloads["fig07"] = {
+        "description": "full fig07 harness (collection + attacks), serial",
+        "samples": samples,
+        "seconds": round(serial_seconds, 4),
+    }
+
+    if jobs > 1:
+        parallel_ctx = serial_ctx.with_(jobs=jobs)
+        log.info("bench: fig07 (samples=%d, jobs=%d)", samples, jobs)
+        parallel_seconds, _ = _best_of(
+            lambda: run_experiment("fig07", parallel_ctx), repeat
+        )
+        workloads["fig07_parallel"] = {
+            "description": "full fig07 harness via the process-pool runner",
+            "samples": samples,
+            "jobs": jobs,
+            "seconds": round(parallel_seconds, 4),
+            "speedup_vs_serial": round(serial_seconds / parallel_seconds, 2),
+        }
+
+    return report
+
+
+def write_bench(report: Dict[str, object], path: Optional[str] = None) -> str:
+    """Write a bench report as pretty JSON; returns the path."""
+    target = path or default_bench_path()
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return target
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable one-line-per-workload summary."""
+    lines = []
+    for name, data in report["workloads"].items():
+        parts = [f"{name}: {data['seconds']}s"]
+        for key in ("ms_per_launch", "ms_per_sample",
+                    "sim_cycles_per_second", "speedup_vs_serial"):
+            if key in data:
+                parts.append(f"{key}={data[key]}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Process-parallel experiment execution.
+
+The paper's evaluation protocol is embarrassingly parallel twice over:
+``rcoal all`` runs ~20 independent experiments, and inside each one
+:func:`~repro.experiments.base.collect_records` simulates ~100 independent
+kernel launches. This module fans both levels out across a
+``ProcessPoolExecutor`` while keeping every output **bit-identical** to a
+serial run:
+
+* all per-sample randomness is re-derived from ``(root_seed, stream name,
+  sample index)`` (see ``ExperimentContext.sample_stream``), so a worker
+  simulates sample *i* without replaying samples ``0..i-1``;
+* workers are assigned *contiguous* sample chunks and their results —
+  records, metrics, traces — are folded back in chunk order, so merged
+  telemetry equals what one serial run would have recorded
+  (``MetricsRegistry.merge`` / ``Tracer.merge``);
+* per-worker progress increments fan in through a queue to a single
+  aggregated status line (``ProgressAggregator``), never interleaved
+  stderr writes.
+
+Workers inherit the parent's environment (``REPRO_FAST`` etc.); payload
+functions live at module level so the pool works under both the ``fork``
+and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.policies import CoalescingPolicy
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    build_server,
+    victim_stream_name,
+)
+from repro.telemetry import (
+    ProgressAggregator,
+    QueueProgress,
+    Telemetry,
+    get_logger,
+)
+from repro.utils import env_flag
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionRecord, EncryptionServer
+
+__all__ = [
+    "chunk_indices",
+    "collect_records_parallel",
+    "run_experiments_parallel",
+]
+
+log = get_logger(__name__)
+
+#: Worker-global progress queue, installed by the pool initializer (a
+#: multiprocessing queue cannot ride along in pickled task payloads).
+_WORKER_PROGRESS_QUEUE = None
+
+
+def _init_worker(progress_queue) -> None:
+    global _WORKER_PROGRESS_QUEUE
+    _WORKER_PROGRESS_QUEUE = progress_queue
+
+
+def chunk_indices(count: int, chunks: int) -> List[range]:
+    """Split ``range(count)`` into ``chunks`` contiguous balanced ranges.
+
+    Contiguity matters: merging worker results in chunk order then equals
+    the serial sample order, which gauge last-values and trace timelines
+    depend on. Empty ranges are never returned.
+    """
+    chunks = max(1, min(chunks, count))
+    base, extra = divmod(count, chunks)
+    ranges: List[range] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def _collect_chunk(payload) -> Tuple[List[EncryptionRecord],
+                                     Optional[Telemetry]]:
+    """Worker: simulate one contiguous chunk of a sample batch."""
+    (ctx, policy, num_samples, indices, counts_only,
+     retain_kernel_results, trace_capacity) = payload
+    telemetry = (Telemetry(trace_capacity=trace_capacity)
+                 if trace_capacity else None)
+    # Regenerating the full batch keeps workers seed-identical to serial;
+    # plaintext generation is bulk RNG draws, a rounding error next to one
+    # kernel simulation.
+    plaintexts = random_plaintexts(num_samples, ctx.lines,
+                                   ctx.stream("workload"))
+    server = build_server(ctx, policy, counts_only=counts_only,
+                          retain_kernel_results=retain_kernel_results,
+                          telemetry=telemetry)
+    progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
+    stream_name = victim_stream_name(policy)
+    records = []
+    for index in indices:
+        records.append(server.encrypt(
+            plaintexts[index], rng=ctx.sample_stream(stream_name, index)
+        ))
+        progress.update()
+    return records, telemetry
+
+
+def collect_records_parallel(
+    ctx: ExperimentContext,
+    policy: CoalescingPolicy,
+    num_samples: int,
+    counts_only: bool = False,
+    retain_kernel_results: bool = False,
+) -> Tuple[EncryptionServer, List[EncryptionRecord]]:
+    """Parallel drop-in for :func:`repro.experiments.base.collect_records`.
+
+    Fans the sample batch out over ``ctx.effective_jobs()`` worker
+    processes and returns records in sample order, bit-identical to the
+    serial path. When ``ctx.telemetry`` is enabled, each worker records
+    into a private :class:`Telemetry` and the chunks are merged back in
+    order, so metrics and traces also match a serial instrumented run.
+    """
+    jobs = min(ctx.effective_jobs(), num_samples)
+    telemetry = ctx.telemetry
+    instrumented = telemetry is not None and telemetry.enabled
+    trace_capacity = telemetry.tracer.capacity if instrumented else 0
+    worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1)
+
+    progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
+    queue = multiprocessing.get_context().Queue() if progress_enabled \
+        else None
+
+    log.info("collecting %d samples under %s across %d workers%s",
+             num_samples, policy.describe(), jobs,
+             " (counts only)" if counts_only else "")
+    chunks = chunk_indices(num_samples, jobs)
+    records: List[EncryptionRecord] = []
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(queue,)
+    ) as pool, ProgressAggregator(
+        num_samples, queue, label=policy.describe(),
+        enabled=progress_enabled,
+    ):
+        futures = [
+            pool.submit(_collect_chunk,
+                        (worker_ctx, policy, num_samples, list(chunk),
+                         counts_only, retain_kernel_results,
+                         trace_capacity))
+            for chunk in chunks
+        ]
+        # Collect in submission (= sample) order; merge telemetry the
+        # same way so the stitched result equals a serial run's.
+        for future in futures:
+            chunk_records, chunk_telemetry = future.result()
+            records.extend(chunk_records)
+            if instrumented:
+                telemetry.merge(chunk_telemetry)
+
+    server = build_server(ctx, policy, counts_only=counts_only,
+                          retain_kernel_results=retain_kernel_results,
+                          telemetry=telemetry)
+    return server, records
+
+
+def _run_one_experiment(payload) -> Tuple[str, ExperimentResult, float]:
+    """Worker: run one full experiment serially."""
+    ctx, experiment_id = payload
+    from repro.experiments.registry import run_experiment
+    start = time.perf_counter()
+    result = run_experiment(experiment_id, ctx)
+    return experiment_id, result, time.perf_counter() - start
+
+
+def run_experiments_parallel(
+    experiment_ids: Sequence[str],
+    ctx: ExperimentContext,
+    jobs: int,
+):
+    """Run whole experiments across a process pool (``rcoal all -j N``).
+
+    Yields ``(experiment_id, result, seconds)`` tuples in the order the
+    ids were given — each experiment is internally deterministic, so the
+    combined output is byte-identical to a serial ``rcoal all``. Workers
+    run their experiment serially (``jobs=1``) to avoid nested pools.
+    """
+    worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1)
+    with ProcessPoolExecutor(
+        max_workers=max(1, min(jobs, len(experiment_ids)))
+    ) as pool:
+        futures = [
+            pool.submit(_run_one_experiment, (worker_ctx, experiment_id))
+            for experiment_id in experiment_ids
+        ]
+        for future in futures:
+            yield future.result()

@@ -48,7 +48,14 @@ class DecodedAddress:
 
 
 class AddressMap:
-    """Address computation and decoding for a :class:`GPUConfig`."""
+    """Address computation and decoding for a :class:`GPUConfig`.
+
+    Decoding is memoized: a kernel touches a small, fixed set of block
+    addresses (the 5 KB table region plus one line per thread) but decodes
+    each one on every DRAM enqueue, so the cache turns the hot-path cost
+    into one dict probe. :class:`DecodedAddress` is frozen, making the
+    shared instances safe.
+    """
 
     def __init__(self, config: GPUConfig):
         self._config = config
@@ -57,6 +64,12 @@ class AddressMap:
         self._num_partitions = config.num_partitions
         self._num_banks = config.num_banks
         self._rows_chunks = config.row_bytes // self._chunk
+        #: Chunk size is a power of two in every real configuration; shift
+        #: instead of dividing on the per-access partition lookup.
+        chunk = self._chunk
+        self._chunk_shift = (chunk.bit_length() - 1
+                             if chunk & (chunk - 1) == 0 else None)
+        self._decode_cache = {}
 
     # -- region address builders -------------------------------------------
 
@@ -76,10 +89,19 @@ class AddressMap:
 
     def partition_of(self, address: int) -> int:
         """Memory partition servicing ``address`` (256 B interleave)."""
+        if self._chunk_shift is not None:
+            return (address >> self._chunk_shift) % self._num_partitions
         return (address // self._chunk) % self._num_partitions
 
     def decode(self, address: int) -> DecodedAddress:
-        """Full DRAM coordinates of ``address``."""
+        """Full DRAM coordinates of ``address`` (memoized)."""
+        cached = self._decode_cache.get(address)
+        if cached is None:
+            cached = self._decode_uncached(address)
+            self._decode_cache[address] = cached
+        return cached
+
+    def _decode_uncached(self, address: int) -> DecodedAddress:
         chunk_id = address // self._chunk
         partition = chunk_id % self._num_partitions
         local_chunk = chunk_id // self._num_partitions
@@ -119,8 +141,8 @@ class PermutedAddressMap(AddressMap):
     def partition_of(self, address: int) -> int:
         return self._partition_perm[super().partition_of(address)]
 
-    def decode(self, address: int) -> DecodedAddress:
-        plain = super().decode(address)
+    def _decode_uncached(self, address: int) -> DecodedAddress:
+        plain = super()._decode_uncached(address)
         return DecodedAddress(
             partition=self._partition_perm[plain.partition],
             bank=self._bank_perm[plain.bank],

@@ -143,30 +143,36 @@ class CoalescingUnit:
         if active_mask is not None and len(active_mask) != len(addresses):
             raise ConfigurationError("active mask length mismatch")
 
+        # Group directly instead of materializing PRTEntry rows: the unit
+        # runs once per memory instruction with one entry per active lane,
+        # so per-entry allocation dominates its cost. The PRT's capacity
+        # invariant (one row per active thread) is still enforced.
+        block_mask = ~(self.access_bytes - 1)
+        groups: Dict[int, Tuple[List[int], set, List[int]]] = {}
+        logged = 0
         for tid, address in enumerate(addresses):
             if active_mask is not None and not active_mask[tid]:
                 continue
-            self.prt.log(PRTEntry(
-                tid=tid,
-                sid=subwarp_map[tid],
-                base_address=self._block_of(address),
-                offset=address % self.access_bytes,
-                size=request_size,
-            ))
-
-        drained = self.prt.drain()
-        groups: Dict[int, Tuple[List[int], List[int]]] = {}
-        for entry in drained:
-            blocks, tids = groups.setdefault(entry.sid, ([], []))
-            if entry.base_address not in blocks:
-                blocks.append(entry.base_address)
-            tids.append(entry.tid)
+            logged += 1
+            sid = subwarp_map[tid]
+            group = groups.get(sid)
+            if group is None:
+                group = ([], set(), [])
+                groups[sid] = group
+            blocks, seen, tids = group
+            block = address & block_mask
+            if block not in seen:
+                seen.add(block)
+                blocks.append(block)
+            tids.append(tid)
+        if logged > self.prt.capacity:
+            raise ProtocolError("pending request table overflow")
 
         result = [
             CoalescedGroup(sid=sid,
                            block_addresses=tuple(blocks),
                            thread_ids=tuple(tids))
-            for sid, (blocks, tids) in sorted(groups.items())
+            for sid, (blocks, _seen, tids) in sorted(groups.items())
         ]
 
         if self._telemetry.enabled:
@@ -177,7 +183,7 @@ class CoalescingUnit:
             metrics.histogram(
                 "coalescer.prt_occupancy",
                 buckets=tuple(range(1, self.prt.capacity + 1)),
-            ).observe(len(drained))
+            ).observe(logged)
             metrics.histogram(
                 "coalescer.accesses_per_instruction",
                 buckets=tuple(range(1, 65)),

@@ -66,11 +66,9 @@ class DramStats:
         return self.row_hits / total if total else 0.0
 
 
-@dataclass
-class _Queued:
-    access: MemoryAccess
-    decoded: DecodedAddress
-    arrival: int
+# Queue entries are plain (access, decoded, arrival) tuples: one is
+# allocated per enqueued request, so tuple packing beats a dataclass on
+# the hot path.
 
 
 class MemoryController:
@@ -89,7 +87,7 @@ class MemoryController:
         self.stats = DramStats()
         self.partition_id = partition_id
         self._telemetry = Telemetry.ensure(telemetry)
-        self._queue: Deque[_Queued] = deque()
+        self._queue: Deque[Tuple[MemoryAccess, DecodedAddress, int]] = deque()
         #: Cycle at which the data bus next frees.
         self.bus_free: int = 0
         #: True while a completion event for this controller is in flight.
@@ -110,7 +108,7 @@ class MemoryController:
         """Accept a request into the controller queue."""
         if len(self._queue) >= self.queue_capacity:
             raise ProtocolError("memory controller queue overflow")
-        self._queue.append(_Queued(access, decoded, cycle))
+        self._queue.append((access, decoded, cycle))
         if self._telemetry.enabled:
             metrics = self._telemetry.metrics
             metrics.counter("dram.enqueued").inc()
@@ -151,7 +149,7 @@ class MemoryController:
             self._queue.rotate(index)
         completion, next_slot = self._service(queued, cycle)
         self._busy = True
-        return queued.access, completion, next_slot
+        return queued[0], completion, next_slot
 
     def release(self) -> None:
         """Free the command slot (engine callback at next_slot_cycle)."""
@@ -161,18 +159,20 @@ class MemoryController:
 
     def _select(self, cycle: int) -> int:
         """FR-FCFS: oldest row-hit request in the window, else oldest."""
-        for i, queued in enumerate(islice(self._queue,
-                                          self.frfcfs_window)):
-            bank = self.banks[queued.decoded.bank]
-            if bank.open_row == queued.decoded.row:
+        banks = self.banks
+        for i, (_access, decoded, _arrival) in enumerate(
+                islice(self._queue, self.frfcfs_window)):
+            if banks[decoded.bank].open_row == decoded.row:
                 return i
         return 0
 
-    def _service(self, queued: _Queued, cycle: int) -> Tuple[int, int]:
+    def _service(self, queued: Tuple[MemoryAccess, DecodedAddress, int],
+                 cycle: int) -> Tuple[int, int]:
         """Compute (completion, next command slot) for one request."""
+        access, decoded, arrival = queued
         timing = self.timing
-        bank = self.banks[queued.decoded.bank]
-        row = queued.decoded.row
+        bank = self.banks[decoded.bank]
+        row = decoded.row
         row_hit = bank.open_row == row
         activate = None
 
@@ -198,26 +198,27 @@ class MemoryController:
         completion = burst_start + timing.t_burst
         self.bus_free = completion
 
-        queue_wait = max(0, burst_start - queued.arrival)
-        self.stats.bus_busy_cycles += timing.t_burst
-        self.stats.queue_wait_cycles += queue_wait
-        if queued.access.is_write:
-            self.stats.writes += 1
+        queue_wait = max(0, burst_start - arrival)
+        stats = self.stats
+        stats.bus_busy_cycles += timing.t_burst
+        stats.queue_wait_cycles += queue_wait
+        if access.is_write:
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
         if self._telemetry.enabled:
             metrics = self._telemetry.metrics
             metrics.counter("dram.row_hits" if row_hit
                             else "dram.row_misses").inc()
-            metrics.counter("dram.writes" if queued.access.is_write
+            metrics.counter("dram.writes" if access.is_write
                             else "dram.reads").inc()
             metrics.counter("dram.bus_busy_cycles").inc(timing.t_burst)
             metrics.histogram("dram.queue_wait_cycles").observe(queue_wait)
             tracer = self._telemetry.tracer
             base = tracer.time_base
-            args = {"bank": queued.decoded.bank, "row": row,
-                    "warp": queued.access.warp_id}
+            args = {"bank": decoded.bank, "row": row,
+                    "warp": access.warp_id}
             if activate is not None:
                 tracer.complete("activate", "dram", base + activate,
                                 timing.t_rcd, pid=PID_DRAM,

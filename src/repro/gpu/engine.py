@@ -31,7 +31,7 @@ from repro.gpu.interconnect import Crossbar
 from repro.gpu.partition import MemoryPartition
 from repro.gpu.request import MemoryAccess
 from repro.gpu.scheduler import SchedulerSet
-from repro.gpu.stats import KernelResult
+from repro.gpu.stats import KernelResult, RoundWindow
 from repro.gpu.warp import ComputeInstruction, MemoryInstruction, WarpProgram
 from repro.telemetry import PID_ICNT, Telemetry, get_logger
 
@@ -201,42 +201,71 @@ class GPUSimulator:
         seq = itertools.count()
         last_completion = 0
 
+        # Hot-path locals: the event loop dispatches ~5 events per coalesced
+        # access, so global/attribute lookups inside the handlers are a
+        # measurable fraction of simulation time. Bind them once per launch.
+        # Event *push order is behaviour*: events are totally ordered by
+        # (cycle, seq), so any reordering of pushes reorders same-cycle ties
+        # and changes FR-FCFS decisions — optimizations here must keep every
+        # push exactly where it was.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        next_seq = seq.__next__
+        issue_cycles = config.issue_cycles
+        per_access = config.coalescer_cycles_per_access
+        partition_of = self.address_map.partition_of
+        decode = self.address_map.decode
+        forward_traverse = forward.traverse
+        reply_traverse = reply_net.traverse
+        windows = result.round_windows
+        controllers = [p.controller for p in partitions]
+        # With L2 and MSHRs disabled (the paper's Table I machine) an
+        # arrival always decodes + enqueues and a DRAM completion always
+        # releases exactly its own access, so the partition's general
+        # arrive/service_complete bookkeeping can be bypassed.
+        fast_memory = not config.enable_l2 and not config.enable_mshr
+
         def push(cycle: int, tag: str, payload: object) -> None:
-            heapq.heappush(events, (cycle, next(seq), tag, payload))
+            heappush(events, (cycle, next_seq(), tag, payload))
 
         for warp_id in warps:
             push(0, "warp", warp_id)
 
-        def kick_partition(partition: MemoryPartition, cycle: int) -> None:
+        def kick_controller(controller, partition_id: int,
+                            cycle: int) -> None:
             """Start the controller's next request if its command slot frees."""
-            if partition.controller.busy:
+            if controller.busy:
                 return
-            started = partition.start_next(cycle)
+            started = controller.start_next(cycle)
             if started is not None:
                 access, completion, next_slot = started
-                push(completion, "dram", (partition.partition_id, access))
-                push(next_slot, "dslot", partition.partition_id)
+                heappush(events, (completion, next_seq(), "dram",
+                                  (partition_id, access)))
+                heappush(events, (next_slot, next_seq(), "dslot",
+                                  partition_id))
 
         def complete_access(access: MemoryAccess, cycle: int) -> None:
             """An access finished at memory; route the reply if needed."""
             nonlocal last_completion
-            last_completion = max(last_completion, cycle)
+            if cycle > last_completion:
+                last_completion = cycle
             if access.is_write:
                 return
-            reply_cycle = reply_net.traverse(access.sm_id, cycle,
-                                             flits=reply_flits)
+            reply_cycle = reply_traverse(access.sm_id, cycle,
+                                         flits=reply_flits)
             if tracer is not None:
                 tracer.complete("reply_xbar", "interconnect",
                                 trace_base + cycle, reply_cycle - cycle,
                                 pid=PID_ICNT, tid=access.sm_id,
                                 args={"warp": access.warp_id})
-            push(reply_cycle, "reply", access)
+            heappush(events, (reply_cycle, next_seq(), "reply", access))
 
         # -- event handlers ---------------------------------------------------
 
         def handle_warp(warp_id: int, cycle: int) -> None:
             warp = warps[warp_id]
-            if warp.pc >= len(warp.program.instructions):
+            instructions = warp.program.instructions
+            if warp.pc >= len(instructions):
                 if warp.outstanding > 0:
                     warp.waiting = True
                     return
@@ -246,132 +275,153 @@ class GPUSimulator:
                     tracer.instant("warp_finish", "warp",
                                    trace_base + cycle, tid=warp_id)
                 return
-            instruction = warp.program.instructions[warp.pc]
+            instruction = instructions[warp.pc]
             # Loads are independent within a round and stay in flight
             # (memory-level parallelism); compute consumes their results,
             # so it acts as the scoreboard barrier.
-            if (isinstance(instruction, ComputeInstruction)
-                    and warp.outstanding > 0):
+            is_compute = isinstance(instruction, ComputeInstruction)
+            if is_compute and warp.outstanding > 0:
                 warp.waiting = True
                 return
             warp.pc += 1
             sm = sms[warp.sm_id]
             issue = sm.schedulers.for_warp(warp.slot).issue_at(cycle)
+            round_index = instruction.round_index
 
-            if isinstance(instruction, ComputeInstruction):
-                done = issue + self.config.issue_cycles + instruction.cycles
-                window = result.window(warp_id, instruction.round_index)
+            if is_compute:
+                done = issue + issue_cycles + instruction.cycles
+                key = (warp_id, round_index)
+                window = windows.get(key)
+                if window is None:
+                    window = RoundWindow()
+                    windows[key] = window
                 window.observe_start(issue)
                 window.observe_end(done)
                 if tracer is not None:
                     tracer.complete("compute", "warp", trace_base + issue,
                                     done - issue, tid=warp_id,
-                                    args={"round": instruction.round_index})
+                                    args={"round": round_index})
                 push(done, "warp", warp_id)
                 return
 
             assert isinstance(instruction, MemoryInstruction)
-            if instruction.round_index is not None:
-                result.window(warp_id, instruction.round_index)\
-                      .observe_start(issue)
+            if round_index is not None:
+                key = (warp_id, round_index)
+                window = windows.get(key)
+                if window is None:
+                    window = RoundWindow()
+                    windows[key] = window
+                window.observe_start(issue)
 
             groups = sm.coalescer.coalesce(
                 instruction.addresses,
-                _resolve_sid_map(warp.sid_map, instruction.round_index),
+                _resolve_sid_map(warp.sid_map, round_index),
                 request_size=instruction.request_size,
                 active_mask=instruction.active_mask,
             )
-            blocks = [(g.sid, addr) for g in groups
-                      for addr in g.block_addresses]
-            if not blocks:
+            num_blocks = 0
+            kind = instruction.kind
+            is_write = instruction.is_write
+            sm_id = warp.sm_id
+            inject = max(issue + issue_cycles, sm.ldst_free)
+            for group in groups:
+                for block_address in group.block_addresses:
+                    access = MemoryAccess(block_address, kind, warp_id,
+                                          sm_id, round_index, is_write)
+                    access.inject_cycle = inject
+                    heappush(events,
+                             (inject, next_seq(), "inject", access))
+                    inject += per_access
+                    num_blocks += 1
+            if not num_blocks:
                 raise ProtocolError("memory instruction produced no accesses")
-
-            ldst_start = max(issue + self.config.issue_cycles, sm.ldst_free)
-            per_access = self.config.coalescer_cycles_per_access
-            for i, (_sid, block_address) in enumerate(blocks):
-                access = MemoryAccess(
-                    address=block_address,
-                    kind=instruction.kind,
-                    warp_id=warp_id,
-                    sm_id=warp.sm_id,
-                    round_index=instruction.round_index,
-                    is_write=instruction.is_write,
-                )
-                access.inject_cycle = ldst_start + i * per_access
-                result.count_access(instruction.kind,
-                                    instruction.round_index)
-                push(access.inject_cycle, "inject", access)
-            sm.ldst_free = ldst_start + len(blocks) * per_access
+            result.count_accesses(kind, round_index, num_blocks)
+            sm.ldst_free = inject
 
             if tracer is not None:
                 tracer.complete(
                     "coalesce", "coalescer", trace_base + issue,
                     sm.ldst_free - issue, tid=warp_id,
-                    args={"round": instruction.round_index,
-                          "kind": instruction.kind.value,
-                          "accesses": len(blocks),
+                    args={"round": round_index,
+                          "kind": kind.value,
+                          "accesses": num_blocks,
                           "subwarps": len(groups)},
                 )
 
-            if instruction.is_write:
+            if is_write:
                 # Stores retire at LD/ST egress; the warp does not wait.
                 push(sm.ldst_free, "warp", warp_id)
             else:
-                warp.outstanding += len(blocks)
+                warp.outstanding += num_blocks
                 # The warp keeps issuing: the next instruction may enter
                 # the pipeline while these loads are in flight.
-                push(issue + self.config.issue_cycles, "warp", warp_id)
+                push(issue + issue_cycles, "warp", warp_id)
 
         def handle_inject(access: MemoryAccess, cycle: int) -> None:
-            partition_id = self.address_map.partition_of(access.address)
-            arrival = forward.traverse(partition_id, cycle)
+            partition_id = partition_of(access.address)
+            arrival = forward_traverse(partition_id, cycle)
             if tracer is not None:
                 tracer.complete("fwd_xbar", "interconnect",
                                 trace_base + cycle, arrival - cycle,
                                 pid=PID_ICNT, tid=partition_id,
                                 args={"warp": access.warp_id})
-            push(arrival, "arrive", (partition_id, access))
+            heappush(events, (arrival, next_seq(), "arrive",
+                              (partition_id, access)))
 
         def handle_arrive(partition_id: int, access: MemoryAccess,
                           cycle: int) -> None:
+            if fast_memory:
+                access.arrival_cycle = cycle
+                controller = controllers[partition_id]
+                controller.enqueue(access, decode(access.address), cycle)
+                kick_controller(controller, partition_id, cycle)
+                return
             partition = partitions[partition_id]
             outcome = partition.arrive(access, cycle)
             for finished, completion in outcome.immediate:
                 complete_access(finished, completion)
             if outcome.queued:
-                kick_partition(partition, cycle)
+                kick_controller(partition.controller, partition_id, cycle)
 
         def handle_dram(partition_id: int, access: MemoryAccess,
                         cycle: int) -> None:
+            if fast_memory:
+                access.complete_cycle = cycle
+                complete_access(access, cycle)
+                return
             partition = partitions[partition_id]
             released = partition.service_complete(access, cycle)
             for finished in released:
                 complete_access(finished, cycle)
 
         def handle_dslot(partition_id: int, cycle: int) -> None:
-            partition = partitions[partition_id]
-            partition.release_slot()
-            kick_partition(partition, cycle)
+            controller = controllers[partition_id]
+            controller.release()
+            kick_controller(controller, partition_id, cycle)
 
         def handle_reply(access: MemoryAccess, cycle: int) -> None:
             warp = warps[access.warp_id]
-            if access.round_index is not None:
-                result.window(access.warp_id, access.round_index)\
-                      .observe_end(cycle)
-            warp.outstanding -= 1
-            if warp.outstanding < 0:
+            round_index = access.round_index
+            if round_index is not None:
+                # The window exists: the issuing instruction created it.
+                window = windows[(access.warp_id, round_index)]
+                if window.end is None or cycle > window.end:
+                    window.end = cycle
+            outstanding = warp.outstanding - 1
+            warp.outstanding = outstanding
+            if outstanding < 0:
                 raise ProtocolError("reply for a warp with no pending load")
-            if warp.outstanding == 0 and warp.waiting:
+            if outstanding == 0 and warp.waiting:
                 warp.waiting = False
                 push(cycle, "warp", access.warp_id)
 
         # -- main loop --------------------------------------------------------
+        # Tags ordered by event frequency (~1 warp event per instruction vs
+        # one inject/arrive/dram/dslot/reply each per coalesced access).
 
         while events:
-            cycle, _seq, tag, payload = heapq.heappop(events)
-            if tag == "warp":
-                handle_warp(payload, cycle)  # type: ignore[arg-type]
-            elif tag == "inject":
+            cycle, _seq, tag, payload = heappop(events)
+            if tag == "inject":
                 handle_inject(payload, cycle)  # type: ignore[arg-type]
             elif tag == "arrive":
                 partition_id, access = payload  # type: ignore[misc]
@@ -383,6 +433,8 @@ class GPUSimulator:
                 handle_dslot(payload, cycle)  # type: ignore[arg-type]
             elif tag == "reply":
                 handle_reply(payload, cycle)  # type: ignore[arg-type]
+            elif tag == "warp":
+                handle_warp(payload, cycle)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
                 raise ProtocolError(f"unknown event tag {tag!r}")
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
@@ -20,27 +19,42 @@ class AccessKind(Enum):
     OUTPUT_STORE = "output_store"
 
 
-@dataclass
 class MemoryAccess:
     """One coalesced memory access (a 64-byte block request).
 
     Produced by the coalescing unit; one instance travels through the
     interconnect, is serviced by a DRAM partition, and its completion wakes
-    the issuing warp.
+    the issuing warp. A plain ``__slots__`` class rather than a dataclass:
+    the engine allocates one per coalesced access (thousands per kernel),
+    making construction cost and per-instance memory part of the simulator's
+    hot path.
     """
 
-    address: int
-    kind: AccessKind
-    warp_id: int
-    sm_id: int
-    round_index: Optional[int] = None
-    is_write: bool = False
-    #: Unique id, assigned at creation (stable ordering for FR-FCFS ties).
-    uid: int = field(default_factory=lambda: next(_access_ids))
-    #: Fill-in fields as the access progresses through the system.
-    inject_cycle: int = 0
-    arrival_cycle: int = 0
-    complete_cycle: int = 0
+    __slots__ = ("address", "kind", "warp_id", "sm_id", "round_index",
+                 "is_write", "uid", "inject_cycle", "arrival_cycle",
+                 "complete_cycle")
+
+    def __init__(self, address: int, kind: AccessKind, warp_id: int,
+                 sm_id: int, round_index: Optional[int] = None,
+                 is_write: bool = False):
+        self.address = address
+        self.kind = kind
+        self.warp_id = warp_id
+        self.sm_id = sm_id
+        self.round_index = round_index
+        self.is_write = is_write
+        #: Unique id, assigned at creation (stable ordering for FR-FCFS ties).
+        self.uid = next(_access_ids)
+        #: Fill-in fields as the access progresses through the system.
+        self.inject_cycle = 0
+        self.arrival_cycle = 0
+        self.complete_cycle = 0
 
     def __lt__(self, other: "MemoryAccess") -> bool:
         return self.uid < other.uid
+
+    def __repr__(self) -> str:
+        return (f"MemoryAccess(address={self.address:#x}, kind={self.kind}, "
+                f"warp_id={self.warp_id}, sm_id={self.sm_id}, "
+                f"round_index={self.round_index}, is_write={self.is_write}, "
+                f"uid={self.uid})")

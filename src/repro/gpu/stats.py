@@ -73,10 +73,16 @@ class KernelResult:
 
     def count_access(self, kind: AccessKind, round_index: Optional[int]
                      ) -> None:
-        self.access_counts[kind] = self.access_counts.get(kind, 0) + 1
+        self.count_accesses(kind, round_index, 1)
+
+    def count_accesses(self, kind: AccessKind, round_index: Optional[int],
+                       count: int) -> None:
+        """Record ``count`` accesses at once (one call per instruction —
+        all of an instruction's coalesced accesses share kind and round)."""
+        self.access_counts[kind] = self.access_counts.get(kind, 0) + count
         if kind is AccessKind.TABLE_LOAD and round_index is not None:
             self.round_accesses[round_index] = (
-                self.round_accesses.get(round_index, 0) + 1
+                self.round_accesses.get(round_index, 0) + count
             )
 
     # -- derived metrics (experiment-facing) ----------------------------------

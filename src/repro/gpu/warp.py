@@ -104,6 +104,15 @@ def build_warp_programs(
     if not traces:
         raise ConfigurationError("cannot build warp programs from zero traces")
 
+    # Table-entry addresses depend only on (table_id, index): resolving the
+    # 5x256 grid up front replaces one method call per thread-lookup
+    # (16 per round per thread) with a list index.
+    table_addresses = [
+        [address_map.table_entry_address(table_id, index)
+         for index in range(256)]
+        for table_id in range(5)
+    ]
+
     programs: List[WarpProgram] = []
     for warp_id in range(0, (len(traces) + warp_size - 1) // warp_size):
         warp_traces = traces[warp_id * warp_size:(warp_id + 1) * warp_size]
@@ -139,13 +148,14 @@ def build_warp_programs(
             program.instructions.append(
                 ComputeInstruction(round_compute_cycles, round_index)
             )
+            round_lookups = [trace.rounds[round_index - 1].lookups
+                             for trace in warp_traces]
             for k in range(LOOKUPS_PER_ROUND):
                 per_thread = []
-                for trace in warp_traces:
-                    table_id, index = trace.rounds[round_index - 1].lookups[k]
-                    per_thread.append(
-                        address_map.table_entry_address(table_id, index)
-                    )
+                append = per_thread.append
+                for lookups in round_lookups:
+                    table_id, index = lookups[k]
+                    append(table_addresses[table_id][index])
                 program.instructions.append(MemoryInstruction(
                     addresses=lane_addresses(per_thread),
                     kind=AccessKind.TABLE_LOAD,

@@ -29,7 +29,11 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.progress import (
+    ProgressAggregator,
+    ProgressReporter,
+    QueueProgress,
+)
 from repro.telemetry.tracer import (
     PID_DRAM,
     PID_ICNT,
@@ -51,6 +55,8 @@ __all__ = [
     "PID_ICNT",
     "PID_DRAM",
     "ProgressReporter",
+    "ProgressAggregator",
+    "QueueProgress",
     "get_logger",
     "configure_logging",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import ConfigurationError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 
@@ -40,6 +41,23 @@ class Telemetry:
     def ensure(telemetry: Optional["Telemetry"]) -> "Telemetry":
         """Normalize an optional constructor argument."""
         return telemetry if telemetry is not None else _DISABLED
+
+    def merge(self, other: Optional["Telemetry"]) -> "Telemetry":
+        """Fold a worker's telemetry into this one (metrics + trace).
+
+        Workers must be merged in sample-chunk order for the result to
+        equal a serial run's telemetry; see ``MetricsRegistry.merge`` and
+        ``Tracer.merge``. Merging ``None`` or a disabled sink is a no-op.
+        """
+        if other is None or not other.enabled:
+            return self
+        if self is _DISABLED:
+            raise ConfigurationError(
+                "cannot merge telemetry into the shared disabled null object"
+            )
+        self.metrics.merge(other.metrics)
+        self.tracer.merge(other.tracer)
+        return self
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

@@ -47,6 +47,10 @@ class Counter:
             )
         self.value += amount
 
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another counter's events into this one (parallel workers)."""
+        self.value += other.value
+
     def to_dict(self) -> Dict[str, object]:
         return {"type": "counter", "value": self.value}
 
@@ -68,6 +72,17 @@ class Gauge:
 
     def add(self, delta: Union[int, float]) -> None:
         self.set(self.value + delta)
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold a later worker's gauge into this one.
+
+        Merging in worker (sample-chunk) order reproduces the serial
+        semantics: the merged last value is the *other*'s last value and
+        the peak is the maximum over both.
+        """
+        self.value = other.value
+        if other.peak > self.peak:
+            self.peak = other.peak
 
     def to_dict(self) -> Dict[str, object]:
         return {"type": "gauge", "value": self.value, "peak": self.peak}
@@ -139,6 +154,24 @@ class Histogram:
                 return self.max if self.max is not None else 0
         return self.max if self.max is not None else 0
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if other.buckets != self.buckets:
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge differing bucket "
+                f"bounds {other.buckets} into {self.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -189,6 +222,36 @@ class MetricsRegistry:
                   buckets: Sequence[Union[int, float]] = DEFAULT_BUCKETS
                   ) -> Histogram:
         return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one, in place.
+
+        The workhorse of the parallel experiment runner: each worker
+        records into a private registry and the parent merges them back in
+        worker (sample-chunk) order, so the merged result equals what one
+        serial run would have recorded — counters sum, histograms add
+        bucket-wise, and gauges keep the last merged value with the
+        all-time peak. Returns ``self`` for chaining.
+        """
+        for name, theirs in other._instruments.items():
+            mine = self._instruments.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(name, theirs.buckets)
+                elif isinstance(theirs, Gauge):
+                    mine = Gauge(name)
+                else:
+                    mine = Counter(name)
+                self._instruments[name] = mine
+            elif type(mine) is not type(theirs):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(mine).__name__} here but "
+                    f"a {type(theirs).__name__} in the merged registry"
+                )
+            mine.merge_from(theirs)
+        return self
 
     # -- export ---------------------------------------------------------------
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, Iterable, List, Optional, Set, Union
 
 from repro.errors import ConfigurationError
@@ -111,6 +111,25 @@ class Tracer:
     def advance_time_base(self, cycles: Number, gap: Number = 1000) -> None:
         """Shift the origin for the next kernel past the finished one."""
         self.time_base += cycles + gap
+
+    def merge(self, other: "Tracer") -> "Tracer":
+        """Append another tracer's timeline after this one, in place.
+
+        Used by the parallel runner to stitch per-worker traces back into
+        one timeline: the other tracer's events are re-based onto this
+        tracer's current ``time_base`` (each worker started from zero), and
+        the time base advances past the merged span, so merging workers in
+        sample order reproduces the end-to-end layout a serial run's
+        ``advance_time_base`` calls would have produced. Returns ``self``.
+        """
+        base = self.time_base
+        for event in other._events:
+            self._recorded += 1
+            self._events.append(replace(event, ts=event.ts + base))
+        # Events the worker's own ring buffer already evicted still count.
+        self._recorded += other.dropped
+        self.time_base += other.time_base
+        return self
 
     # -- inspection -----------------------------------------------------------
 

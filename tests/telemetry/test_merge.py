@@ -1,0 +1,145 @@
+"""Telemetry merge semantics: folded worker registries equal serial.
+
+The parallel experiment runner gives each worker process a private
+``Telemetry`` and folds the chunks back in sample order; these tests pin
+the algebra that makes the fold equal one serial instrumented run —
+counters add, gauges keep the last value and the max peak, histograms add
+bucket-wise, traces concatenate on a stitched time base.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
+
+
+def _split_merge(values, split):
+    """Record ``values`` serially and as two merged chunks; return both."""
+    serial = MetricsRegistry()
+    first, second = MetricsRegistry(), MetricsRegistry()
+    for registry, chunk in ((first, values[:split]),
+                            (second, values[split:])):
+        for value in chunk:
+            for target in (serial, registry):
+                target.counter("events").inc(value)
+                target.gauge("queue").set(value)
+                target.histogram("latency", buckets=(2, 4, 8)).observe(value)
+    return serial, first.merge(second)
+
+
+class TestMetricsMerge:
+    VALUES = [3, 9, 1, 5, 2, 7]
+
+    @pytest.mark.parametrize("split", [0, 2, 3, 6])
+    def test_merge_equals_serial_at_any_split(self, split):
+        serial, merged = _split_merge(self.VALUES, split)
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_counter_sums(self):
+        serial, merged = _split_merge(self.VALUES, 3)
+        assert merged.counter("events").value == sum(self.VALUES)
+
+    def test_gauge_keeps_chunk_order_value_and_global_peak(self):
+        serial, merged = _split_merge(self.VALUES, 3)
+        gauge = merged.gauge("queue")
+        assert gauge.value == self.VALUES[-1]
+        assert gauge.peak == max(self.VALUES)
+
+    def test_histogram_adds_bucketwise_and_combines_extremes(self):
+        serial, merged = _split_merge(self.VALUES, 3)
+        hist = merged.histogram("latency", buckets=(2, 4, 8))
+        assert hist.count == len(self.VALUES)
+        assert hist.min == min(self.VALUES)
+        assert hist.max == max(self.VALUES)
+        assert hist.sum == sum(self.VALUES)
+
+    def test_missing_instruments_are_adopted(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        theirs.counter("only.theirs").inc(4)
+        theirs.histogram("h", buckets=(1, 2)).observe(1)
+        mine.merge(theirs)
+        assert mine.counter("only.theirs").value == 4
+        assert mine.histogram("h", buckets=(1, 2)).count == 1
+        # Adopted, not aliased: further increments stay independent.
+        theirs.counter("only.theirs").inc()
+        assert mine.counter("only.theirs").value == 4
+
+    def test_type_mismatch_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.counter("x")
+        theirs.gauge("x")
+        with pytest.raises(ConfigurationError):
+            mine.merge(theirs)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.histogram("h", buckets=(1, 2))
+        theirs.histogram("h", buckets=(1, 4))
+        with pytest.raises(ConfigurationError):
+            mine.merge(theirs)
+
+
+class TestTracerMerge:
+    def test_merge_rebases_onto_local_time_base(self):
+        mine, theirs = Tracer(), Tracer()
+        mine.complete("k0", "sim", 0, 10, pid=1, tid=0)
+        mine.advance_time_base(10, gap=0)
+        theirs.complete("k1", "sim", 0, 5, pid=1, tid=0)
+        theirs.advance_time_base(5, gap=0)
+        mine.merge(theirs)
+        events = list(mine.events)
+        assert [e.name for e in events] == ["k0", "k1"]
+        # k1 started at local ts 0 in the worker; merged it sits after k0.
+        assert events[1].ts == 10
+        assert mine.time_base == 15
+
+    def test_merge_accumulates_drop_counts(self):
+        mine = Tracer(capacity=4)
+        theirs = Tracer(capacity=2)
+        for i in range(4):
+            theirs.instant(f"e{i}", "sim", i, pid=1, tid=0)
+        assert theirs.dropped == 2
+        mine.merge(theirs)
+        assert mine.dropped == 2
+
+    def test_chain_of_merges_matches_serial_recording(self):
+        serial = Tracer()
+        chunks = []
+        for chunk_index in range(3):
+            worker = Tracer()
+            for i in range(2):
+                ts = chunk_index * 2 + i
+                serial.instant(f"s{ts}", "sim", serial.time_base + i,
+                               pid=1, tid=0)
+                worker.instant(f"s{ts}", "sim", i, pid=1, tid=0)
+            serial.advance_time_base(2)
+            worker.advance_time_base(2)
+            chunks.append(worker)
+        merged = Tracer()
+        for worker in chunks:
+            merged.merge(worker)
+        assert [(e.name, e.ts) for e in merged.events] \
+            == [(e.name, e.ts) for e in serial.events]
+        assert merged.time_base == serial.time_base
+
+
+class TestTelemetryMerge:
+    def test_merge_combines_metrics_and_trace(self):
+        mine, theirs = Telemetry(), Telemetry()
+        mine.metrics.counter("sim.kernels").inc()
+        theirs.metrics.counter("sim.kernels").inc(2)
+        theirs.tracer.instant("x", "sim", 1, pid=1, tid=0)
+        mine.merge(theirs)
+        assert mine.metrics.counter("sim.kernels").value == 3
+        assert len(mine.tracer) == 1
+
+    def test_merging_none_or_disabled_is_a_noop(self):
+        mine = Telemetry()
+        mine.metrics.counter("c").inc()
+        mine.merge(None)
+        mine.merge(Telemetry.disabled())
+        assert mine.metrics.counter("c").value == 1
+
+    def test_disabled_sink_rejects_merge(self):
+        with pytest.raises(ConfigurationError):
+            Telemetry.disabled().merge(Telemetry())

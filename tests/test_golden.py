@@ -7,6 +7,8 @@ deliberate model change shifts them, re-baseline after checking the
 benchmark shapes still hold.
 """
 
+import hashlib
+
 import pytest
 
 from repro.core.policies import make_policy
@@ -58,3 +60,80 @@ class TestGoldenPipeline:
                                  ).encrypt(plaintext)
         assert again.partitions[0] == partition
         assert again.total_time == record.total_time
+
+
+def _record_fingerprint(record) -> bytes:
+    """Everything observable about one launch, as a stable byte string."""
+    kr = record.kernel_result
+    return repr((
+        record.ciphertext, record.total_time, record.last_round_time,
+        record.total_accesses, record.last_round_accesses,
+        sorted(record.round_accesses.items()),
+        record.last_round_byte_accesses,
+        [(d.row_hits, d.row_misses, d.reads, d.writes,
+          d.bus_busy_cycles, d.queue_wait_cycles)
+         for d in kr.dram_stats],
+        sorted((k, v.start, v.end) for k, v in kr.round_windows.items()),
+        sorted(kr.warp_finish.items()),
+    )).encode()
+
+
+class TestGoldenEngineDetail:
+    """Deep pins of the timing engine's internal state.
+
+    The coarse pins above would let a micro-architectural regression hide
+    behind a compensating error; these check DRAM bank behaviour, the
+    per-round execution windows, and a multi-seed multi-policy digest, so
+    any event-ordering or state-machine change in the engine is caught —
+    the guard that hot-path optimizations must be simulated-cycle-exact
+    against.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_kernel(self):
+        key = bytes(RngStream(GOLDEN_SEED, "key").random_bytes(16))
+        plaintext = random_plaintexts(
+            1, 32, RngStream(GOLDEN_SEED, "pt"))[0]
+        server = EncryptionServer(key, make_policy("baseline"),
+                                  retain_kernel_results=True)
+        return server.encrypt(plaintext).kernel_result
+
+    def test_total_cycles_are_stable(self, golden_kernel):
+        assert golden_kernel.total_cycles == 7805
+        assert golden_kernel.drain_cycles == 7805
+        assert golden_kernel.warp_finish == {0: 7805}
+
+    def test_dram_bank_stats_are_stable(self, golden_kernel):
+        stats = golden_kernel.dram_stats
+        assert [d.row_hits for d in stats] == [388, 375, 314, 305, 439, 438]
+        assert [d.queue_wait_cycles for d in stats] \
+            == [17834, 16368, 14349, 14418, 24003, 23235]
+
+    def test_round_windows_are_stable(self, golden_kernel):
+        windows = golden_kernel.round_windows
+        assert [(windows[(0, r)].start, windows[(0, r)].end)
+                for r in range(11)] \
+            == [(0, 102), (102, 911), (911, 1675), (1675, 2433),
+                (2433, 3209), (3209, 3961), (3961, 4716), (4716, 5474),
+                (5474, 6241), (6241, 6987), (6987, 7805)]
+
+    def test_engine_battery_digest_is_stable(self):
+        # Two seeds x four policies, fingerprinting ciphertext, timing,
+        # access counts, DRAM stats, round windows, and warp finishes.
+        sig = hashlib.sha256()
+        for seed in (42, 777):
+            key = bytes(RngStream(seed, "key").random_bytes(16))
+            plaintext = random_plaintexts(
+                1, 32, RngStream(seed, "pt"))[0]
+            for name, subwarps in (("baseline", 1), ("rss_rts", 8),
+                                   ("fss_rts", 8), ("nocoal", 1)):
+                policy = make_policy(name, subwarps)
+                server = EncryptionServer(
+                    key, policy,
+                    rng=(RngStream(seed, "victim")
+                         if policy.is_randomized else None),
+                    retain_kernel_results=True,
+                )
+                sig.update(_record_fingerprint(server.encrypt(plaintext)))
+        assert sig.hexdigest() == ("89c21d9aa548795e749d680dac4a8af0"
+                                   "21802d3f825736f1f559bc5fcab0923f")
