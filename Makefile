@@ -1,7 +1,7 @@
 # Convenience targets for the RCoal reproduction.
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
-        profile perf clean
+        profile perf serve attribute check-metrics clean
 
 install:
 	pip install -e '.[test]'
@@ -37,6 +37,20 @@ profile:
 # see docs/performance.md.
 perf:
 	rcoal bench -j 2
+
+# Live telemetry dashboard (progress, metrics, trace tail) on
+# http://127.0.0.1:8000 while fig07 runs; Ctrl-C to exit.
+serve:
+	REPRO_FAST=1 rcoal serve fig07 -j 2
+
+# Per-warp leakage attribution of the attacked round window;
+# see docs/attacks.md#leakage-attribution.
+attribute:
+	REPRO_FAST=1 rcoal attribute
+
+# Gate the metrics snapshot against the committed baseline (what CI runs).
+check-metrics:
+	rcoal metrics fig05 --samples 4 --check BASELINE_METRICS.json
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,256 @@
+"""Leakage attribution: which accesses make the timing window long.
+
+The RCoal attack reads one scalar per encryption — the last-round execution
+time — and that scalar is built, cycle by cycle, from the individual
+coalesced accesses the round issues. This module decomposes a traced round
+window into **per-access cycle contributions**: for every ``(warp, round)``
+window it joins the engine's ``round`` trace slices with the per-access
+events that carry the stable launch-local ``uid`` (``fwd_xbar`` /
+``reply_xbar`` on the interconnect, ``column_hit`` / ``column_miss`` in
+DRAM) and with the round's ``compute`` slice, then attributes the window's
+duration across them.
+
+Attribution rule (marginal waterfall)
+-------------------------------------
+A round window ends when its *last* dependency completes: the compute
+instruction retires and every read's reply is delivered. Sort all those
+completion points; each one is charged the cycles by which it advanced the
+window's frontier::
+
+    contribution(c_i) = max(0, c_i - max(window.start, c_1, ..., c_{i-1}))
+
+The contributions telescope, so they sum *exactly* to the window duration —
+the per-warp breakdown reconciles with the round-window cycles pinned by
+``tests/test_golden.py`` by construction, and any event lost in the join
+shows up as a reconciliation gap rather than a silently wrong chart. An
+access that completes behind the frontier (hidden under memory-level
+parallelism) contributes 0: it costs DRAM bandwidth but not leaked time,
+which is exactly the distinction the attacker's timing channel sees.
+
+The join needs telemetry events recorded with a tracer whose capacity held
+the full run (the ``rcoal attribute`` experiment sizes it accordingly);
+evicted events raise, because a partial join would misattribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "AccessContribution",
+    "RoundAttribution",
+    "attribute_rounds",
+    "summarize_by_warp",
+]
+
+
+@dataclass(frozen=True)
+class AccessContribution:
+    """One completion point's share of a round window, in cycles."""
+
+    #: "access" for a memory reply, "compute" for the round's compute slice.
+    source: str
+    #: Launch-local access uid (None for compute contributions).
+    uid: Optional[int]
+    #: Cycle (trace timeline) at which this dependency completed.
+    completion: float
+    #: Cycles this completion advanced the window frontier (>= 0).
+    cycles: float
+    #: DRAM service classification from the column_* join, when available.
+    row_hit: Optional[bool] = None
+    bank: Optional[int] = None
+    queue_wait: Optional[float] = None
+
+
+@dataclass
+class RoundAttribution:
+    """The full cycle breakdown of one traced ``(warp, round)`` window."""
+
+    warp_id: int
+    round_index: int
+    start: float
+    end: float
+    contributions: List[AccessContribution] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def attributed(self) -> float:
+        """Sum of contributions; equals ``duration`` (telescoping sum)."""
+        return sum(c.cycles for c in self.contributions)
+
+    @property
+    def access_cycles(self) -> float:
+        return sum(c.cycles for c in self.contributions
+                   if c.source == "access")
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(c.cycles for c in self.contributions
+                   if c.source == "compute")
+
+    @property
+    def hidden_accesses(self) -> int:
+        """Accesses fully overlapped by others (contribute 0 cycles)."""
+        return sum(1 for c in self.contributions
+                   if c.source == "access" and c.cycles == 0)
+
+
+def _end(event: TraceEvent) -> float:
+    return event.ts + (event.dur or 0)
+
+
+def attribute_rounds(
+    tracer: Tracer,
+    round_index: Optional[int] = None,
+) -> List[RoundAttribution]:
+    """Attribute every traced round window to its completion points.
+
+    Joins the tracer's ``round`` slices with ``compute`` / ``reply_xbar``
+    events by ``(warp, round)`` + containment in the window's time span
+    (windows of successive launches never overlap: the engine lays
+    launches end-to-end on the trace timeline), and enriches each access
+    with its ``column_hit``/``column_miss`` DRAM record via the stable
+    access ``uid``. Pass ``round_index`` to keep only one round (the
+    attack's last round, typically).
+    """
+    if tracer.dropped:
+        raise ConfigurationError(
+            f"cannot attribute a partial trace: {tracer.dropped} events "
+            f"were evicted from the ring buffer; rerun with a larger "
+            f"trace capacity"
+        )
+
+    windows: List[RoundAttribution] = []
+    # Completion points grouped by (warp, round); matched to windows by
+    # time containment afterwards.
+    replies: Dict[Tuple[int, int], List[TraceEvent]] = {}
+    computes: Dict[Tuple[int, int], List[TraceEvent]] = {}
+    dram: Dict[Tuple[float, int], TraceEvent] = {}
+
+    for event in tracer.events:
+        name = event.name
+        if name == "round":
+            rnd = event.args["round"]
+            if round_index is not None and rnd != round_index:
+                continue
+            windows.append(RoundAttribution(
+                warp_id=event.tid, round_index=rnd,
+                start=event.ts, end=_end(event),
+            ))
+        elif name == "reply_xbar":
+            args = event.args
+            if args["round"] is None:
+                continue
+            replies.setdefault((args["warp"], args["round"]),
+                               []).append(event)
+        elif name == "compute":
+            rnd = event.args["round"]
+            if rnd is None:
+                continue
+            computes.setdefault((event.tid, rnd), []).append(event)
+        elif name in ("column_hit", "column_miss"):
+            # One DRAM service per access; keyed by uid within a launch
+            # span. uids repeat across launches, so carry the service
+            # start ts to pick the in-window record during the join.
+            dram[(event.ts, event.args["uid"])] = event
+
+    dram_by_uid: Dict[int, List[TraceEvent]] = {}
+    for (_, uid), event in sorted(dram.items()):
+        dram_by_uid.setdefault(uid, []).append(event)
+
+    for window in windows:
+        key = (window.warp_id, window.round_index)
+        points: List[Tuple[float, str, Optional[TraceEvent]]] = []
+        for event in computes.get(key, ()):
+            done = _end(event)
+            if window.start <= event.ts and done <= window.end:
+                points.append((done, "compute", None))
+        for event in replies.get(key, ()):
+            done = _end(event)
+            if window.start <= event.ts and done <= window.end:
+                points.append((done, "access", event))
+        points.sort(key=lambda p: (p[0], p[1] != "compute"))
+
+        frontier = window.start
+        for done, source, event in points:
+            cycles = max(0.0, done - frontier)
+            frontier = max(frontier, done)
+            uid = event.args["uid"] if event is not None else None
+            row_hit = bank = queue_wait = None
+            if uid is not None:
+                service = _dram_record(dram_by_uid.get(uid), window)
+                if service is not None:
+                    row_hit = service.name == "column_hit"
+                    bank = service.args["bank"]
+                    queue_wait = service.args["queue_wait"]
+            window.contributions.append(AccessContribution(
+                source=source, uid=uid, completion=done, cycles=cycles,
+                row_hit=row_hit, bank=bank, queue_wait=queue_wait,
+            ))
+        if abs(window.attributed - window.duration) > 1e-9:
+            raise ConfigurationError(
+                f"attribution failed to reconcile for warp "
+                f"{window.warp_id} round {window.round_index}: "
+                f"attributed {window.attributed} of {window.duration} "
+                f"cycles (trace is missing completion events)"
+            )
+    windows.sort(key=lambda w: (w.start, w.warp_id))
+    return windows
+
+
+def _dram_record(candidates: Optional[List[TraceEvent]],
+                 window: RoundAttribution) -> Optional[TraceEvent]:
+    """The access's DRAM service event that falls inside this window."""
+    if not candidates:
+        return None
+    for event in candidates:
+        if window.start <= event.ts <= window.end:
+            return event
+    return None
+
+
+def summarize_by_warp(
+    attributions: Iterable[RoundAttribution],
+) -> Dict[int, Dict[str, float]]:
+    """Aggregate attributions per warp (across launches of a batch).
+
+    Returns, per warp id: number of windows, mean window cycles, mean
+    cycles attributed to accesses vs compute, mean cycles hidden behind
+    row misses vs hits, and the mean count of fully-overlapped accesses.
+    Means are per-window, so the table is comparable across sample counts.
+    """
+    totals: Dict[int, Dict[str, float]] = {}
+    for window in attributions:
+        agg = totals.setdefault(window.warp_id, {
+            "windows": 0, "cycles": 0.0, "access_cycles": 0.0,
+            "compute_cycles": 0.0, "row_miss_cycles": 0.0,
+            "row_hit_cycles": 0.0, "accesses": 0, "hidden_accesses": 0,
+        })
+        agg["windows"] += 1
+        agg["cycles"] += window.duration
+        agg["access_cycles"] += window.access_cycles
+        agg["compute_cycles"] += window.compute_cycles
+        for c in window.contributions:
+            if c.source != "access":
+                continue
+            agg["accesses"] += 1
+            if c.cycles == 0:
+                agg["hidden_accesses"] += 1
+            if c.row_hit is True:
+                agg["row_hit_cycles"] += c.cycles
+            elif c.row_hit is False:
+                agg["row_miss_cycles"] += c.cycles
+    for agg in totals.values():
+        windows = agg["windows"] or 1
+        for key in ("cycles", "access_cycles", "compute_cycles",
+                    "row_miss_cycles", "row_hit_cycles", "accesses",
+                    "hidden_accesses"):
+            agg[f"mean_{key}"] = agg[key] / windows
+    return totals

@@ -13,6 +13,9 @@ Observability subcommands (see ``docs/observability.md``)::
 
     rcoal trace fig05 --out trace.json    # Chrome trace_event JSON
     rcoal metrics fig05                   # metrics snapshot table
+    rcoal metrics fig05 --check BASELINE_METRICS.json   # regression gate
+    rcoal serve fig07 --port 8000 -j 2    # live dashboard while running
+    rcoal fig07 --serve 8000              # same, riding on a normal run
 
 Benchmarks (see ``docs/performance.md``)::
 
@@ -53,6 +56,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="per-sample ETA reporting on stderr")
 
 
+def _add_serve_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--serve", metavar="PORT", default=None,
+                        help="serve a live telemetry dashboard + JSON API "
+                             "on PORT (or HOST:PORT) for the duration of "
+                             "the run; results stay bit-identical "
+                             "(see docs/observability.md)")
+
+
+def _start_server(spec: str, telemetry):
+    """Start the --serve sink; prints the dashboard URL to stderr."""
+    from repro.telemetry.serve import TelemetryServer, parse_serve_spec
+    host, port = parse_serve_spec(spec)
+    server = TelemetryServer(telemetry, host=host, port=port).start()
+    print(f"[serving live telemetry at {server.url}]", file=sys.stderr)
+    return server
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rcoal",
@@ -66,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id (e.g. fig06, table2), 'all', or 'list'",
     )
     _add_common_arguments(parser)
+    _add_serve_argument(parser)
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the result rows as CSV "
                              "(experiment id is appended for 'all')")
@@ -91,6 +112,7 @@ def _build_telemetry_parser(command: str) -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig05, fig06)")
     _add_common_arguments(parser)
+    _add_serve_argument(parser)
     if command == "trace":
         parser.add_argument("--out", metavar="PATH", default="trace.json",
                             help="Chrome trace output path "
@@ -103,7 +125,29 @@ def _build_telemetry_parser(command: str) -> argparse.ArgumentParser:
     else:
         parser.add_argument("--json", metavar="PATH", default=None,
                             help="also write the metrics snapshot as JSON")
+        parser.add_argument("--check", metavar="BASELINE", default=None,
+                            help="compare the snapshot against a committed "
+                                 "metrics baseline; exit 1 on drift")
+        parser.add_argument("--write-baseline", metavar="BASELINE",
+                            dest="write_baseline", default=None,
+                            help="record/refresh this experiment's entry "
+                                 "in a metrics baseline file")
+        parser.add_argument("--tolerance", type=float, default=0.0,
+                            help="relative tolerance for --check numeric "
+                                 "comparisons (default 0.0: exact — the "
+                                 "simulator is deterministic)")
     return parser
+
+
+def _baseline_context(args) -> dict:
+    """What a metrics baseline depends on (jobs excluded: bit-identical)."""
+    return {
+        "experiment": args.experiment,
+        "seed": args.seed,
+        "samples": args.samples,
+        "repro_fast": os.environ.get("REPRO_FAST") or None,
+        "repro_samples": os.environ.get("REPRO_SAMPLES") or None,
+    }
 
 
 def _run_telemetry_command(command: str, argv: List[str]) -> int:
@@ -111,13 +155,24 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     configure_logging(args.verbose)
 
     capacity = getattr(args, "capacity", 500_000)
-    telemetry = Telemetry(trace_capacity=capacity)
+    if args.serve:
+        from repro.telemetry import ProgressBoard
+        telemetry = Telemetry(trace_capacity=capacity,
+                              board=ProgressBoard())
+        server = _start_server(args.serve, telemetry)
+    else:
+        telemetry = Telemetry(trace_capacity=capacity)
+        server = None
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs)
 
-    start = time.time()
-    result = run_experiment(args.experiment, ctx)
+    try:
+        start = time.time()
+        result = run_experiment(args.experiment, ctx)
+    finally:
+        if server is not None:
+            server.stop()
     print(result.render())
     # Timing goes to stderr: stdout stays bit-identical across runs and
     # across -j settings, so outputs can be diffed directly (CI does).
@@ -138,13 +193,94 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
         print("[open in chrome://tracing or https://ui.perfetto.dev]")
         if args.jsonl:
             print(f"[jsonl written to {tracer.write_jsonl(args.jsonl)}]")
-    else:
-        print(f"== {args.experiment}: telemetry metrics snapshot ==")
-        print(telemetry.metrics.render_table())
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(telemetry.metrics.to_json())
-            print(f"[metrics json written to {args.json}]")
+        return 0
+
+    print(f"== {args.experiment}: telemetry metrics snapshot ==")
+    print(telemetry.metrics.render_table())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.metrics.to_json())
+        print(f"[metrics json written to {args.json}]")
+
+    if args.write_baseline or args.check:
+        from repro.telemetry.baseline import (
+            check_against_baseline,
+            update_baseline,
+        )
+        snapshot = telemetry.metrics.snapshot()
+        context = _baseline_context(args)
+        if args.write_baseline:
+            path = update_baseline(args.write_baseline, args.experiment,
+                                   context, snapshot)
+            print(f"[metrics baseline written to {path}]")
+        if args.check:
+            drifts = check_against_baseline(args.check, args.experiment,
+                                            context, snapshot,
+                                            tolerance=args.tolerance)
+            if drifts:
+                print(f"metrics drift vs {args.check} "
+                      f"({len(drifts)} difference(s)):", file=sys.stderr)
+                for drift in drifts[:50]:
+                    print(f"  {drift}", file=sys.stderr)
+                if len(drifts) > 50:
+                    print(f"  ... and {len(drifts) - 50} more",
+                          file=sys.stderr)
+                return 1
+            print(f"[metrics match baseline {args.check}]")
+    return 0
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal serve",
+        description="Run one experiment with full telemetry and serve a "
+                    "live dashboard (progress, metrics, trace tail) plus "
+                    "JSON endpoints (/metrics, /trace, /progress, /health) "
+                    "while it executes. Keeps serving after the run "
+                    "finishes until interrupted (use --no-linger to exit "
+                    "immediately).",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id to run (e.g. fig07)")
+    _add_common_arguments(parser)
+    parser.add_argument("--port", default="8000", metavar="PORT",
+                        help="PORT or HOST:PORT to listen on "
+                             "(default 8000 on 127.0.0.1)")
+    parser.add_argument("--capacity", type=int, default=500_000,
+                        help="trace ring-buffer capacity in events")
+    parser.add_argument("--no-linger", dest="linger", action="store_false",
+                        help="exit when the experiment finishes instead "
+                             "of serving until Ctrl-C")
+    return parser
+
+
+def _run_serve_command(argv: List[str]) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    from repro.telemetry import ProgressBoard
+
+    telemetry = Telemetry(trace_capacity=args.capacity,
+                          board=ProgressBoard())
+    server = _start_server(args.port, telemetry)
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
+                            telemetry=telemetry, progress=args.progress,
+                            jobs=args.jobs)
+    try:
+        start = time.time()
+        result = run_experiment(args.experiment, ctx)
+        print(result.render())
+        print(f"[{args.experiment} completed in "
+              f"{time.time() - start:.1f}s]", file=sys.stderr)
+        if args.linger:
+            print(f"[run complete; dashboard still live at {server.url} "
+                  f"— Ctrl-C to exit]", file=sys.stderr)
+            try:
+                while True:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -190,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in _TELEMETRY_COMMANDS:
         return _run_telemetry_command(argv[0], argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve_command(argv[1:])
     if argv and argv[0] == "bench":
         return _run_bench_command(argv[1:])
 
@@ -203,8 +341,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    telemetry = server = None
+    if args.serve:
+        from repro.telemetry import ProgressBoard
+        telemetry = Telemetry(board=ProgressBoard())
+        server = _start_server(args.serve, telemetry)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
-                            progress=args.progress, jobs=args.jobs)
+                            telemetry=telemetry, progress=args.progress,
+                            jobs=args.jobs)
 
     multiple = len(ids) > 1
 
@@ -229,20 +373,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                       else args.json)
             print(f"[json written to {write_json(result, target)}]")
 
-    if multiple and ctx.effective_jobs() > 1:
-        # Whole experiments fan out across the pool; output order (and
-        # bytes) match a serial run.
-        from repro.experiments.runner import run_experiments_parallel
-        for experiment_id, result, seconds in run_experiments_parallel(
-                ids, ctx, ctx.effective_jobs()):
-            _emit(experiment_id, result, seconds)
-        return 0
+    batch_start = time.time()
 
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id, ctx)
-        _emit(experiment_id, result, time.time() - start)
-    return 0
+    def _publish_batch(done: int) -> None:
+        # Experiment-level progress for the --serve dashboard: the one
+        # signal that survives `all -j N`, where workers run with
+        # telemetry stripped and only completions reach the parent.
+        if telemetry is None or not multiple:
+            return
+        telemetry.board.publish("experiments", done, len(ids),
+                                time.time() - batch_start,
+                                state="done" if done >= len(ids)
+                                else "running")
+
+    try:
+        _publish_batch(0)
+        if multiple and ctx.effective_jobs() > 1:
+            # Whole experiments fan out across the pool; output order
+            # (and bytes) match a serial run.
+            from repro.experiments.runner import run_experiments_parallel
+            for done, (experiment_id, result, seconds) in enumerate(
+                    run_experiments_parallel(ids, ctx,
+                                             ctx.effective_jobs()), 1):
+                _emit(experiment_id, result, seconds)
+                _publish_batch(done)
+            return 0
+
+        for done, experiment_id in enumerate(ids, 1):
+            start = time.time()
+            result = run_experiment(experiment_id, ctx)
+            _emit(experiment_id, result, time.time() - start)
+            _publish_batch(done)
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

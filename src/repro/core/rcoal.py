@@ -58,6 +58,12 @@ class RCoalGPU:
         return self.simulator.config
 
     @property
+    def telemetry(self):
+        """The simulator's telemetry sink (the disabled null object when
+        uninstrumented); the counts-only fast path records through it."""
+        return self.simulator.telemetry
+
+    @property
     def address_map(self):
         return self.simulator.address_map
 

@@ -184,6 +184,7 @@ def collect_records(
     reporter = ProgressReporter(
         num_samples, label=policy.describe(),
         enabled=ctx.progress or env_flag("REPRO_PROGRESS"),
+        board=ctx.telemetry.board if ctx.telemetry is not None else None,
     )
     stream_name = victim_stream_name(policy)
     records = []

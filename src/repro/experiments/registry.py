@@ -16,6 +16,7 @@ from repro.experiments import (
     ablation_samples,
     ablation_scheduling,
     ablation_selective,
+    attribute,
     fig05, fig06, fig07, fig08, fig09,
     fig12, fig13, fig14, fig15, fig16, fig17, fig18,
     table2,
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig17": fig17.run,
     "fig18": fig18.run,
     # Extensions: the paper's Section VII directions and unshown ablations.
+    "attribute": attribute.run,
     "ablation_selective": ablation_selective.run,
     "ablation_rss_dist": ablation_rss_dist.run,
     "ablation_inference": ablation_inference.run,

@@ -131,8 +131,11 @@ def collect_records_parallel(
     worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1)
 
     progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
-    queue = multiprocessing.get_context().Queue() if progress_enabled \
-        else None
+    board = telemetry.board if instrumented else None
+    # The live ``--serve`` board also needs the worker fan-in queue, even
+    # when the stderr status line is off.
+    queue = multiprocessing.get_context().Queue() \
+        if progress_enabled or board is not None else None
 
     log.info("collecting %d samples under %s across %d workers%s",
              num_samples, policy.describe(), jobs,
@@ -143,7 +146,7 @@ def collect_records_parallel(
         max_workers=jobs, initializer=_init_worker, initargs=(queue,)
     ) as pool, ProgressAggregator(
         num_samples, queue, label=policy.describe(),
-        enabled=progress_enabled,
+        enabled=progress_enabled, board=board,
     ):
         futures = [
             pool.submit(_collect_chunk,

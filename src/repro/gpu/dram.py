@@ -218,7 +218,9 @@ class MemoryController:
             tracer = self._telemetry.tracer
             base = tracer.time_base
             args = {"bank": decoded.bank, "row": row,
-                    "warp": access.warp_id}
+                    "warp": access.warp_id, "uid": access.uid,
+                    "round": access.round_index,
+                    "kind": access.kind.value}
             if activate is not None:
                 tracer.complete("activate", "dram", base + activate,
                                 timing.t_rcd, pid=PID_DRAM,

@@ -199,6 +199,10 @@ class GPUSimulator:
         result = KernelResult(num_warps=len(warps))
         events: List[Tuple[int, int, str, object]] = []
         seq = itertools.count()
+        # Launch-local access ids, assigned in generation order: the same
+        # access gets the same id on every rerun and in every worker
+        # process, giving traced events a stable join key (attribution).
+        next_uid = itertools.count().__next__
         last_completion = 0
 
         # Hot-path locals: the event loop dispatches ~5 events per coalesced
@@ -257,7 +261,9 @@ class GPUSimulator:
                 tracer.complete("reply_xbar", "interconnect",
                                 trace_base + cycle, reply_cycle - cycle,
                                 pid=PID_ICNT, tid=access.sm_id,
-                                args={"warp": access.warp_id})
+                                args={"warp": access.warp_id,
+                                      "uid": access.uid,
+                                      "round": access.round_index})
             heappush(events, (reply_cycle, next_seq(), "reply", access))
 
         # -- event handlers ---------------------------------------------------
@@ -327,7 +333,8 @@ class GPUSimulator:
             for group in groups:
                 for block_address in group.block_addresses:
                     access = MemoryAccess(block_address, kind, warp_id,
-                                          sm_id, round_index, is_write)
+                                          sm_id, round_index, is_write,
+                                          uid=next_uid())
                     access.inject_cycle = inject
                     heappush(events,
                              (inject, next_seq(), "inject", access))
@@ -364,7 +371,9 @@ class GPUSimulator:
                 tracer.complete("fwd_xbar", "interconnect",
                                 trace_base + cycle, arrival - cycle,
                                 pid=PID_ICNT, tid=partition_id,
-                                args={"warp": access.warp_id})
+                                args={"warp": access.warp_id,
+                                      "uid": access.uid,
+                                      "round": access.round_index})
             heappush(events, (arrival, next_seq(), "arrive",
                               (partition_id, access)))
 

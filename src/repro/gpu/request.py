@@ -36,15 +36,19 @@ class MemoryAccess:
 
     def __init__(self, address: int, kind: AccessKind, warp_id: int,
                  sm_id: int, round_index: Optional[int] = None,
-                 is_write: bool = False):
+                 is_write: bool = False, uid: Optional[int] = None):
         self.address = address
         self.kind = kind
         self.warp_id = warp_id
         self.sm_id = sm_id
         self.round_index = round_index
         self.is_write = is_write
-        #: Unique id, assigned at creation (stable ordering for FR-FCFS ties).
-        self.uid = next(_access_ids)
+        #: Unique id (stable ordering for FR-FCFS ties). The engine passes
+        #: a launch-local id — deterministic 0..N-1 in generation order, so
+        #: traced events carry the *same* access id across reruns, worker
+        #: processes, and -j settings (the attribution join depends on it).
+        #: Direct constructions fall back to a process-global counter.
+        self.uid = next(_access_ids) if uid is None else uid
         #: Fill-in fields as the access progresses through the system.
         self.inject_cycle = 0
         self.arrival_cycle = 0

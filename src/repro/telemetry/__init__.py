@@ -28,12 +28,15 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    stable_json,
 )
 from repro.telemetry.progress import (
     ProgressAggregator,
+    ProgressBoard,
     ProgressReporter,
     QueueProgress,
 )
+from repro.telemetry.serve import TelemetryServer
 from repro.telemetry.tracer import (
     PID_DRAM,
     PID_ICNT,
@@ -56,7 +59,10 @@ __all__ = [
     "PID_DRAM",
     "ProgressReporter",
     "ProgressAggregator",
+    "ProgressBoard",
     "QueueProgress",
+    "TelemetryServer",
+    "stable_json",
     "get_logger",
     "configure_logging",
 ]

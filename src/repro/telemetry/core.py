@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import ProgressBoard
 from repro.telemetry.tracer import Tracer
 
 __all__ = ["Telemetry"]
@@ -24,13 +25,18 @@ __all__ = ["Telemetry"]
 class Telemetry:
     """Metrics + tracing for one instrumented simulation scope."""
 
-    __slots__ = ("enabled", "metrics", "tracer")
+    __slots__ = ("enabled", "metrics", "tracer", "board")
 
     def __init__(self, enabled: bool = True,
-                 trace_capacity: int = 500_000):
+                 trace_capacity: int = 500_000,
+                 board: Optional[ProgressBoard] = None):
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(trace_capacity)
+        #: Optional live progress fan-in, read by the ``--serve`` sink.
+        #: Reporters publish here when the experiment context carries an
+        #: instrumented telemetry whose board is set.
+        self.board = board
 
     @classmethod
     def disabled(cls) -> "Telemetry":

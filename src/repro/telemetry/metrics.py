@@ -24,11 +24,34 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "stable_json"]
 
 #: Power-of-two bounds covering 1 cycle .. ~1M cycles; the default shape
 #: for latency/occupancy histograms.
 DEFAULT_BUCKETS: Tuple[int, ...] = tuple(2 ** i for i in range(21))
+
+
+def _stable(value):
+    """Normalize floats to 10 significant digits, recursively."""
+    if isinstance(value, float):
+        return float(f"{value:.10g}")
+    if isinstance(value, dict):
+        return {key: _stable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_stable(item) for item in value]
+    return value
+
+
+def stable_json(obj, indent: Optional[int] = 2) -> str:
+    """JSON text that diffs cleanly across runs and ``-j`` settings.
+
+    Keys are sorted and floats are rounded to 10 significant digits before
+    serialization, so two snapshots of the same logical state — serial vs
+    merged-from-workers, or re-run on another platform — are byte-equal.
+    The committed metrics baselines (``rcoal metrics --check``) and the
+    ``--serve`` JSON endpoints both rely on this.
+    """
+    return json.dumps(_stable(obj), indent=indent, sort_keys=True)
 
 
 class Counter:
@@ -256,12 +279,22 @@ class MetricsRegistry:
     # -- export ---------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """All instruments as plain dicts, sorted by name."""
-        return {name: self._instruments[name].to_dict()
-                for name in sorted(self._instruments)}
+        """All instruments as plain dicts, sorted by name.
+
+        Callable from another thread while instrumentation records (the
+        ``--serve`` sink polls live): lazily-created instruments can grow
+        the dict mid-iteration, which is retried rather than locked.
+        """
+        for _ in range(16):
+            try:
+                names = sorted(self._instruments)
+                break
+            except RuntimeError:  # dict grew during iteration; retry
+                continue
+        return {name: self._instruments[name].to_dict() for name in names}
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        return stable_json(self.snapshot(), indent=indent)
 
     def render_table(self) -> str:
         """Human-readable snapshot (the ``rcoal metrics`` output)."""

@@ -23,7 +23,8 @@ import threading
 import time
 from typing import Optional, TextIO
 
-__all__ = ["ProgressReporter", "QueueProgress", "ProgressAggregator"]
+__all__ = ["ProgressReporter", "QueueProgress", "ProgressAggregator",
+           "ProgressBoard"]
 
 
 def _format_seconds(seconds: float) -> str:
@@ -34,15 +35,75 @@ def _format_seconds(seconds: float) -> str:
     return f"{seconds:.1f}s"
 
 
+class ProgressBoard:
+    """Thread-safe live progress state, read back by the ``--serve`` sink.
+
+    Reporters (serial and queue-aggregated alike) publish their state here
+    when handed a board; the telemetry HTTP server's ``/progress`` endpoint
+    snapshots it. One entry per reporter label (an experiment phase such as
+    ``"fss M=8"``), in first-update order, so the dashboard shows each
+    collection phase of a run as it starts.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+        self._created = time.monotonic()
+
+    def publish(self, label: str, done: int, total: int,
+                elapsed: float, eta: Optional[float] = None,
+                state: str = "running") -> None:
+        """Record the live state of one labelled phase."""
+        with self._lock:
+            self._entries[label or "run"] = {
+                "done": done,
+                "total": total,
+                "percent": round(100.0 * done / total, 1) if total else 0.0,
+                "elapsed_seconds": round(elapsed, 3),
+                "eta_seconds": round(eta, 3) if eta is not None else None,
+                "state": state,
+            }
+
+    def finish(self, label: str) -> None:
+        """Mark one phase complete (keeps its final counts)."""
+        with self._lock:
+            entry = self._entries.get(label or "run")
+            if entry is not None:
+                entry["state"] = "done"
+                entry["eta_seconds"] = 0.0
+
+    def snapshot(self) -> dict:
+        """All phases plus aggregate totals, as plain JSON-ready dicts."""
+        with self._lock:
+            phases = {label: dict(entry)
+                      for label, entry in self._entries.items()}
+        done = sum(e["done"] for e in phases.values())
+        total = sum(e["total"] for e in phases.values())
+        return {
+            "phases": phases,
+            "done": done,
+            "total": total,
+            "uptime_seconds": round(time.monotonic() - self._created, 3),
+        }
+
+
 class ProgressReporter:
-    """Writes ``label 12/40 (30%) elapsed 1.2s eta 2.8s`` lines to stderr."""
+    """Writes ``label 12/40 (30%) elapsed 1.2s eta 2.8s`` lines to stderr.
+
+    When given a :class:`ProgressBoard`, the reporter also publishes its
+    state there on every update — independently of ``enabled``, which only
+    gates the stderr line — so a ``--serve`` dashboard sees progress even
+    when the terminal status line is off.
+    """
 
     def __init__(self, total: int, label: str = "",
                  stream: Optional[TextIO] = None, enabled: bool = True,
-                 min_interval: float = 0.1):
+                 min_interval: float = 0.1,
+                 board: Optional[ProgressBoard] = None):
         self.total = max(total, 0)
         self.label = label
         self.enabled = enabled and self.total > 0
+        self.board = board if self.total > 0 else None
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval = min_interval
         self._done = 0
@@ -56,12 +117,20 @@ class ProgressReporter:
 
     def update(self, amount: int = 1) -> None:
         """Record ``amount`` finished samples and maybe repaint the line."""
-        if not self.enabled:
+        if not self.enabled and self.board is None:
             return
         now = time.monotonic()
         if self._started is None:
             self._started = now
         self._done += amount
+        if self.board is not None:
+            elapsed = now - self._started
+            eta = (elapsed / self._done * (self.total - self._done)
+                   if 0 < self._done < self.total and elapsed > 0 else None)
+            self.board.publish(self.label, self._done, self.total,
+                               elapsed, eta)
+        if not self.enabled:
+            return
         final = self._done >= self.total
         if not final and now - self._last_write < self._min_interval:
             return
@@ -70,6 +139,8 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Repaint the final state and terminate the status line."""
+        if self.board is not None:
+            self.board.finish(self.label)
         if not self.enabled or not self._wrote_any:
             return
         self._write_line(time.monotonic())
@@ -125,14 +196,17 @@ class ProgressAggregator:
     """
 
     def __init__(self, total: int, queue, label: str = "",
-                 stream: Optional[TextIO] = None, enabled: bool = True):
+                 stream: Optional[TextIO] = None, enabled: bool = True,
+                 board: Optional[ProgressBoard] = None):
         self.reporter = ProgressReporter(total, label=label, stream=stream,
-                                         enabled=enabled and queue is not None)
+                                         enabled=enabled and queue is not None,
+                                         board=board)
         self._queue = queue
         self._thread: Optional[threading.Thread] = None
 
     def __enter__(self) -> "ProgressAggregator":
-        if self._queue is not None and self.reporter.enabled:
+        if self._queue is not None and (self.reporter.enabled
+                                        or self.reporter.board is not None):
             self._thread = threading.Thread(target=self._drain, daemon=True)
             self._thread.start()
         return self

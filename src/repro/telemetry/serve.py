@@ -1,0 +1,435 @@
+"""Live telemetry streaming over HTTP (the ``--serve`` sink).
+
+:class:`TelemetryServer` wraps a stdlib :class:`ThreadingHTTPServer` around
+one :class:`~repro.telemetry.core.Telemetry` instance and serves its state
+as JSON while the simulation is still running:
+
+* ``GET /health``   — liveness + uptime;
+* ``GET /metrics``  — full registry snapshot (stable JSON, sorted keys);
+* ``GET /trace``    — incremental ring-buffer drain; pass ``?since=<seq>``
+  (the ``next_since`` of the previous response) to fetch only new events,
+  and ``?limit=<n>`` to cap the response size;
+* ``GET /progress`` — per-phase progress fanned in through the
+  :class:`~repro.telemetry.progress.ProgressBoard`;
+* ``GET /``         — a self-contained HTML dashboard polling the above.
+
+The server runs on a daemon thread and never touches the simulator: every
+endpoint reads through the same retry-on-mutation snapshots the export
+paths use, so serving while a run records costs the run nothing and the
+results stay bit-identical (``tests/integration/test_observer_effect.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError
+from repro.telemetry.core import Telemetry
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import stable_json
+
+__all__ = ["TelemetryServer", "DEFAULT_TRACE_LIMIT", "parse_serve_spec"]
+
+_log = get_logger("telemetry.serve")
+
+#: Cap on events per ``/trace`` response unless the client overrides it.
+DEFAULT_TRACE_LIMIT = 2000
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the fixed endpoint set; state lives on the server object."""
+
+    server_version = "rcoal-telemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/":
+            self._send(200, _DASHBOARD_HTML.encode("utf-8"),
+                       "text/html; charset=utf-8")
+        elif route == "/health":
+            self._send_json(200, self._server().health())
+        elif route == "/metrics":
+            self._send(200, self._server().metrics_json().encode("utf-8"),
+                       "application/json")
+        elif route == "/trace":
+            query = parse_qs(parsed.query)
+            since = _int_param(query, "since", 0)
+            limit = _int_param(query, "limit", DEFAULT_TRACE_LIMIT)
+            self._send_json(200, self._server().trace_since(since, limit))
+        elif route == "/progress":
+            self._send_json(200, self._server().progress())
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {route!r}"})
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _server(self) -> "TelemetryServer":
+        return self.server.owner  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(status, stable_json(payload).encode("utf-8"),
+                   "application/json")
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+
+def _int_param(query: dict, name: str, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return max(0, int(values[0]))
+    except ValueError:
+        return default
+
+
+class TelemetryServer:
+    """Serve one :class:`Telemetry` instance's live state over HTTP.
+
+    Usable as a context manager; ``start`` returns once the socket is
+    bound, so ``port`` is final even when requested as 0 (ephemeral)::
+
+        with TelemetryServer(telemetry, port=0) as server:
+            print(server.url)      # http://127.0.0.1:<assigned>
+            ... run experiments with `telemetry` ...
+    """
+
+    def __init__(self, telemetry: Telemetry, host: str = "127.0.0.1",
+                 port: int = 8000):
+        if not telemetry.enabled:
+            raise ConfigurationError(
+                "cannot serve a disabled telemetry sink: nothing records"
+            )
+        self.telemetry = telemetry
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is not None:
+            return self
+        self._started = time.monotonic()
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        kwargs={"poll_interval": 0.1},
+                                        daemon=True,
+                                        name="rcoal-telemetry-serve")
+        self._thread.start()
+        _log.info("telemetry server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join()
+        self._thread = None
+        self._httpd.server_close()
+        _log.info("telemetry server on %s stopped", self.url)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- endpoint payloads (also the programmatic query surface) --------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "trace_recorded": self.telemetry.tracer.recorded,
+            "metrics": len(self.telemetry.metrics),
+        }
+
+    def metrics_json(self) -> str:
+        return stable_json({
+            "metrics": self.telemetry.metrics.snapshot(),
+            "trace_recorded": self.telemetry.tracer.recorded,
+        })
+
+    def trace_since(self, since: int,
+                    limit: int = DEFAULT_TRACE_LIMIT) -> dict:
+        events, next_since, dropped = \
+            self.telemetry.tracer.events_since(since)
+        if limit and len(events) > limit:
+            dropped += len(events) - limit
+            events = events[-limit:]
+        return {
+            "events": [dict(event.to_chrome(), seq=event.seq)
+                       for event in events],
+            "next_since": next_since,
+            "dropped": dropped,
+            "recorded": self.telemetry.tracer.recorded,
+        }
+
+    def progress(self) -> dict:
+        board = self.telemetry.board
+        if board is None:
+            return {"phases": {}, "done": 0, "total": 0,
+                    "uptime_seconds": 0.0}
+        return board.snapshot()
+
+
+def parse_serve_spec(spec: str) -> Tuple[str, int]:
+    """``"8000"`` or ``"0.0.0.0:8000"`` → (host, port)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid --serve value {spec!r}: expected PORT or HOST:PORT"
+        )
+    if not 0 <= port <= 65535:
+        raise ConfigurationError(f"--serve port out of range: {port}")
+    return host or "127.0.0.1", port
+
+
+# ---------------------------------------------------------------------------
+# Embedded dashboard. Zero external dependencies; polls the JSON endpoints.
+# Palette follows the project dataviz conventions (validated categorical
+# slots; text always in text tokens, never series colors).
+# ---------------------------------------------------------------------------
+
+_DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>rcoal live telemetry</title>
+<style>
+  :root {
+    --surface: #fcfcfb; --panel: #f4f3f1; --border: #e3e2de;
+    --text: #0b0b0b; --text-2: #52514e;
+    --blue: #2a78d6; --orange: #eb6834; --aqua: #1baf7a;
+    --ok: #008300;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --surface: #1a1a19; --panel: #242422; --border: #3a3936;
+      --text: #ffffff; --text-2: #c3c2b7;
+      --blue: #3987e5; --orange: #d95926; --aqua: #199e70;
+      --ok: #35a854;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px; background: var(--surface); color: var(--text);
+    font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; margin: 0; font-weight: 650; }
+  header { display: flex; align-items: baseline; gap: 12px;
+           margin-bottom: 20px; flex-wrap: wrap; }
+  #status { color: var(--text-2); font-size: 13px; }
+  #status .dot { display: inline-block; width: 8px; height: 8px;
+                 border-radius: 50%; background: var(--ok);
+                 margin-right: 6px; }
+  #status.stale .dot { background: var(--orange); }
+  .tiles { display: grid; gap: 12px; margin-bottom: 20px;
+           grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); }
+  .tile { background: var(--panel); border: 1px solid var(--border);
+          border-radius: 8px; padding: 12px 14px; }
+  .tile .label { color: var(--text-2); font-size: 12px;
+                 text-transform: uppercase; letter-spacing: .04em; }
+  .tile .value { font-size: 24px; font-weight: 650;
+                 font-variant-numeric: tabular-nums; margin-top: 2px; }
+  section { margin-bottom: 24px; }
+  h2 { font-size: 13px; font-weight: 650; color: var(--text-2);
+       text-transform: uppercase; letter-spacing: .05em;
+       margin: 0 0 10px; }
+  .phase { margin-bottom: 10px; }
+  .phase .head { display: flex; justify-content: space-between;
+                 font-size: 13px; margin-bottom: 4px; }
+  .phase .name { font-weight: 550; }
+  .phase .stat { color: var(--text-2);
+                 font-variant-numeric: tabular-nums; }
+  .bar { height: 8px; border-radius: 4px; background: var(--panel);
+         border: 1px solid var(--border); overflow: hidden; }
+  .bar .fill { height: 100%; border-radius: 4px; background: var(--blue);
+               transition: width .4s; }
+  .phase.done .fill { background: var(--aqua); }
+  table { border-collapse: collapse; width: 100%; max-width: 720px;
+          font-variant-numeric: tabular-nums; }
+  th, td { text-align: left; padding: 4px 14px 4px 0; font-size: 13px;
+           border-bottom: 1px solid var(--border); }
+  th { color: var(--text-2); font-weight: 550; }
+  td.num { text-align: right; }
+  #trace { background: var(--panel); border: 1px solid var(--border);
+           border-radius: 8px; padding: 10px 14px; max-width: 920px;
+           font: 12px/1.6 ui-monospace, Menlo, Consolas, monospace;
+           white-space: pre; overflow-x: auto; color: var(--text-2);
+           min-height: 60px; }
+  .muted { color: var(--text-2); }
+</style>
+</head>
+<body>
+<header>
+  <h1>rcoal live telemetry</h1>
+  <span id="status"><span class="dot"></span><span id="status-text">connecting&hellip;</span></span>
+</header>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Progress</div>
+    <div class="value" id="tile-progress">&ndash;</div></div>
+  <div class="tile"><div class="label">Samples done</div>
+    <div class="value" id="tile-samples">&ndash;</div></div>
+  <div class="tile"><div class="label">Trace events</div>
+    <div class="value" id="tile-events">&ndash;</div></div>
+  <div class="tile"><div class="label">Metrics</div>
+    <div class="value" id="tile-metrics">&ndash;</div></div>
+</div>
+
+<section>
+  <h2>Experiment phases</h2>
+  <div id="phases"><span class="muted">No progress published yet.</span></div>
+</section>
+
+<section>
+  <h2>Metrics</h2>
+  <table id="metrics-table">
+    <thead><tr><th>name</th><th>type</th><th class="num">value</th>
+               <th class="num">mean</th></tr></thead>
+    <tbody><tr><td colspan="4" class="muted">waiting for data&hellip;</td></tr></tbody>
+  </table>
+</section>
+
+<section>
+  <h2>Trace tail</h2>
+  <div id="trace">waiting for events&hellip;</div>
+</section>
+
+<script>
+"use strict";
+let since = 0;
+const tail = [];
+const TAIL = 18;
+const fmt = n => n.toLocaleString("en-US");
+
+function setStatus(ok, text) {
+  const el = document.getElementById("status");
+  el.classList.toggle("stale", !ok);
+  document.getElementById("status-text").textContent = text;
+}
+
+async function poll() {
+  try {
+    const [health, metrics, progress, trace] = await Promise.all([
+      fetch("/health").then(r => r.json()),
+      fetch("/metrics").then(r => r.json()),
+      fetch("/progress").then(r => r.json()),
+      fetch("/trace?since=" + since + "&limit=200").then(r => r.json()),
+    ]);
+    setStatus(true, "live \\u00b7 up " + health.uptime_seconds.toFixed(0) + "s");
+    renderTiles(health, metrics, progress);
+    renderPhases(progress);
+    renderMetrics(metrics.metrics);
+    renderTrace(trace);
+  } catch (err) {
+    setStatus(false, "unreachable \\u2014 retrying");
+  }
+}
+
+function renderTiles(health, metrics, progress) {
+  const pct = progress.total
+    ? (100 * progress.done / progress.total).toFixed(0) + "%" : "\\u2013";
+  document.getElementById("tile-progress").textContent = pct;
+  document.getElementById("tile-samples").textContent =
+    progress.total ? fmt(progress.done) + " / " + fmt(progress.total) : "\\u2013";
+  document.getElementById("tile-events").textContent =
+    fmt(metrics.trace_recorded);
+  document.getElementById("tile-metrics").textContent =
+    fmt(Object.keys(metrics.metrics).length);
+}
+
+function renderPhases(progress) {
+  const names = Object.keys(progress.phases);
+  const host = document.getElementById("phases");
+  if (!names.length) return;
+  host.innerHTML = names.map(name => {
+    const p = progress.phases[name];
+    const eta = p.state === "done" ? "done"
+      : p.eta_seconds != null ? "eta " + p.eta_seconds.toFixed(0) + "s" : "";
+    return '<div class="phase' + (p.state === "done" ? " done" : "") + '">'
+      + '<div class="head"><span class="name">' + esc(name) + '</span>'
+      + '<span class="stat">' + p.done + "/" + p.total
+      + " (" + p.percent.toFixed(0) + "%) " + eta + "</span></div>"
+      + '<div class="bar"><div class="fill" style="width:'
+      + p.percent + '%"></div></div></div>';
+  }).join("");
+}
+
+function renderMetrics(snapshot) {
+  const names = Object.keys(snapshot);
+  if (!names.length) return;
+  const rows = names.map(name => {
+    const m = snapshot[name];
+    const value = m.type === "histogram" ? fmt(m.count)
+      : m.type === "gauge" ? fmt(m.value) + " (peak " + fmt(m.peak) + ")"
+      : fmt(m.value);
+    const mean = m.type === "histogram" && m.count
+      ? m.mean.toFixed(1) : "";
+    return "<tr><td>" + esc(name) + "</td><td>" + m.type
+      + '</td><td class="num">' + value
+      + '</td><td class="num">' + mean + "</td></tr>";
+  });
+  document.querySelector("#metrics-table tbody").innerHTML = rows.join("");
+}
+
+function renderTrace(trace) {
+  since = trace.next_since;
+  for (const e of trace.events) {
+    tail.push(String(e.seq).padStart(8) + "  " + String(e.ts).padStart(10)
+      + "  " + (e.cat + "/" + e.name).padEnd(28)
+      + (e.dur != null ? "dur " + e.dur : ""));
+  }
+  while (tail.length > TAIL) tail.shift();
+  if (tail.length)
+    document.getElementById("trace").textContent = tail.join("\\n");
+}
+
+function esc(text) {
+  const div = document.createElement("div");
+  div.textContent = text;
+  return div.innerHTML;
+}
+
+poll();
+setInterval(poll, 1000);
+</script>
+</body>
+</html>
+"""

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, Iterable, List, Optional, Set, Union
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -50,7 +50,10 @@ class TraceEvent:
     """One typed simulator event.
 
     ``ph`` follows the Chrome trace_event phase codes: ``"X"`` complete
-    (has a duration), ``"i"`` instant.
+    (has a duration), ``"i"`` instant. ``seq`` is the 1-based position in
+    the tracer's recorded stream — monotonically increasing, so streaming
+    consumers (the ``--serve`` sink) can drain incrementally with
+    :meth:`Tracer.events_since`.
     """
 
     name: str
@@ -61,6 +64,7 @@ class TraceEvent:
     pid: int = PID_SM
     tid: int = 0
     args: Optional[Dict[str, object]] = None
+    seq: int = 0
 
     def to_chrome(self) -> Dict[str, object]:
         event: Dict[str, object] = {
@@ -98,7 +102,8 @@ class Tracer:
         """Record a duration ("X") event."""
         self._recorded += 1
         self._events.append(TraceEvent(name=name, cat=cat, ph="X", ts=ts,
-                                       dur=dur, pid=pid, tid=tid, args=args))
+                                       dur=dur, pid=pid, tid=tid, args=args,
+                                       seq=self._recorded))
 
     def instant(self, name: str, cat: str, ts: Number,
                 pid: int = PID_SM, tid: int = 0,
@@ -106,7 +111,8 @@ class Tracer:
         """Record a point-in-time ("i") event."""
         self._recorded += 1
         self._events.append(TraceEvent(name=name, cat=cat, ph="i", ts=ts,
-                                       pid=pid, tid=tid, args=args))
+                                       pid=pid, tid=tid, args=args,
+                                       seq=self._recorded))
 
     def advance_time_base(self, cycles: Number, gap: Number = 1000) -> None:
         """Shift the origin for the next kernel past the finished one."""
@@ -125,7 +131,10 @@ class Tracer:
         base = self.time_base
         for event in other._events:
             self._recorded += 1
-            self._events.append(replace(event, ts=event.ts + base))
+            # Re-sequence onto this tracer's stream so seq stays globally
+            # monotonic for incremental consumers.
+            self._events.append(replace(event, ts=event.ts + base,
+                                        seq=self._recorded))
         # Events the worker's own ring buffer already evicted still count.
         self._recorded += other.dropped
         self.time_base += other.time_base
@@ -152,6 +161,32 @@ class Tracer:
 
     def categories(self) -> Set[str]:
         return {event.cat for event in self._events}
+
+    def events_since(self, since: int = 0
+                     ) -> Tuple[List[TraceEvent], int, int]:
+        """Incrementally drain the ring buffer: events with ``seq > since``.
+
+        Returns ``(events, next_since, dropped)``: the matching events in
+        recording order, the cursor to pass on the next call (the last
+        returned seq, or ``since`` unchanged when nothing new arrived), and
+        the number of requested events the ring buffer already evicted
+        (non-zero when the consumer polls slower than the producer records).
+
+        Safe to call from another thread while the simulator records (the
+        ``--serve`` sink does): the buffer snapshot is retried on the rare
+        mutation-during-iteration race instead of locking the hot path.
+        """
+        events: List[TraceEvent] = []
+        for _ in range(16):
+            try:
+                events = [e for e in self._events if e.seq > since]
+                break
+            except RuntimeError:  # deque mutated during iteration; retry
+                continue
+        if not events:
+            return [], since, 0
+        dropped = max(0, events[0].seq - since - 1)
+        return events, events[-1].seq, dropped
 
     # -- export ---------------------------------------------------------------
 

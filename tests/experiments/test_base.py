@@ -78,7 +78,8 @@ class TestRegistry:
                     "ablation_inference", "ablation_samples",
                     "ablation_noise", "ablation_energy",
                     "ablation_blocksize", "ablation_leakage",
-                    "ablation_scheduling", "ablation_addrmap"}
+                    "ablation_scheduling", "ablation_addrmap",
+                    "attribute"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_rejected(self):

@@ -73,3 +73,69 @@ class TestNoObserverEffect:
         disabled = _run("baseline", 1, None)
         enabled = _run("baseline", 1, Telemetry(trace_capacity=16))
         _assert_identical(disabled, enabled)
+
+
+def _run_counts_only(policy_name, subwarps, telemetry):
+    key = bytes(RngStream(GOLDEN_SEED, "key").random_bytes(16))
+    plaintext = random_plaintexts(1, 32, RngStream(GOLDEN_SEED, "pt"))[0]
+    policy = make_policy(policy_name, subwarps)
+    rng = (RngStream(GOLDEN_SEED, "victim")
+           if policy.is_randomized else None)
+    server = EncryptionServer(key, policy, rng=rng, counts_only=True,
+                              telemetry=telemetry)
+    return server.encrypt(plaintext)
+
+
+class TestCountsOnlyObserverEffect:
+    """The instrumented counts-only fast path must also be invisible."""
+
+    def test_counts_path_is_bit_identical_with_metrics_on(self):
+        for name, subwarps in (("baseline", 1), ("rss_rts", 8)):
+            disabled = _run_counts_only(name, subwarps, None)
+            telemetry = Telemetry()
+            enabled = _run_counts_only(name, subwarps, telemetry)
+            assert enabled.ciphertext == disabled.ciphertext
+            assert enabled.total_accesses == disabled.total_accesses
+            assert enabled.round_accesses == disabled.round_accesses
+            assert enabled.last_round_byte_accesses \
+                == disabled.last_round_byte_accesses
+            # The fast path records the engine's coalescing metric names.
+            snapshot = telemetry.metrics.snapshot()
+            assert snapshot["coalescer.accesses"]["value"] \
+                == disabled.total_accesses
+            assert "coalescer.instructions" in snapshot
+            assert "coalescer.accesses_per_instruction" in snapshot
+            assert "coalescer.subwarps_per_instruction" in snapshot
+
+    def test_counts_metrics_match_engine_metrics(self):
+        # Same launch, same draws: the fast path's coalescing snapshot
+        # must agree with the timing engine's on the shared instruments.
+        full_telemetry = Telemetry()
+        _run("baseline", 1, full_telemetry)
+        counts_telemetry = Telemetry()
+        _run_counts_only("baseline", 1, counts_telemetry)
+        full = full_telemetry.metrics.snapshot()
+        counts = counts_telemetry.metrics.snapshot()
+        for name in ("coalescer.instructions", "coalescer.accesses",
+                     "coalescer.accesses_per_instruction",
+                     "coalescer.subwarps_per_instruction"):
+            assert counts[name] == full[name], name
+
+
+class TestStableAccessIds:
+    """Trace joins rely on launch-local deterministic access uids."""
+
+    def test_uids_are_stable_across_reruns(self):
+        def traced_uids():
+            telemetry = Telemetry()
+            _run("baseline", 1, telemetry)
+            return [
+                (e.args["uid"], e.ts) for e in telemetry.tracer.events
+                if e.name == "fwd_xbar"
+            ]
+
+        first, second = traced_uids(), traced_uids()
+        assert first == second
+        uids = [uid for uid, _ in first]
+        # Launch-local generation order: 0..N-1, each exactly once.
+        assert sorted(uids) == list(range(len(uids)))

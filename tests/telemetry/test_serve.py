@@ -1,0 +1,208 @@
+"""The live telemetry HTTP sink: endpoints, streaming, and the dashboard.
+
+End-to-end tests run a real (short) instrumented experiment on a worker
+thread while polling a real :class:`TelemetryServer` over HTTP on an
+ephemeral port — the same topology ``rcoal fig07 --serve 8000`` sets up —
+and assert the JSON payloads grow monotonically as the run progresses.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.telemetry import ProgressBoard, Telemetry, TelemetryServer
+from repro.telemetry.serve import parse_serve_spec
+from repro.telemetry.tracer import Tracer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        body = response.read().decode("utf-8")
+        return response.status, response.headers.get("Content-Type"), body
+
+
+class TestEventsSince:
+    def test_incremental_drain(self):
+        tracer = Tracer(capacity=100)
+        for i in range(5):
+            tracer.complete(f"e{i}", "cat", ts=i, dur=1)
+        events, cursor, dropped = tracer.events_since(0)
+        assert [e.name for e in events] == ["e0", "e1", "e2", "e3", "e4"]
+        assert cursor == 5 and dropped == 0
+        # Nothing new: cursor unchanged.
+        events, cursor, dropped = tracer.events_since(cursor)
+        assert events == [] and cursor == 5 and dropped == 0
+        tracer.instant("e5", "cat", ts=9)
+        events, cursor, dropped = tracer.events_since(cursor)
+        assert [e.name for e in events] == ["e5"]
+        assert cursor == 6 and dropped == 0
+
+    def test_eviction_is_reported_as_dropped(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.complete(f"e{i}", "cat", ts=i, dur=1)
+        events, cursor, dropped = tracer.events_since(0)
+        assert [e.name for e in events] == ["e7", "e8", "e9"]
+        assert cursor == 10
+        assert dropped == 7
+
+    def test_merge_resequences_monotonically(self):
+        parent, worker = Tracer(100), Tracer(100)
+        parent.complete("p0", "cat", ts=0, dur=1)
+        worker.complete("w0", "cat", ts=0, dur=1)
+        worker.complete("w1", "cat", ts=1, dur=1)
+        parent.merge(worker)
+        seqs = [e.seq for e in parent.events]
+        assert seqs == sorted(seqs) == [1, 2, 3]
+        events, cursor, _ = parent.events_since(1)
+        assert [e.name for e in events] == ["w0", "w1"]
+        assert cursor == 3
+
+
+class TestParseServeSpec:
+    def test_bare_port(self):
+        assert parse_serve_spec("8000") == ("127.0.0.1", 8000)
+
+    def test_host_and_port(self):
+        assert parse_serve_spec("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_serve_spec("not-a-port")
+        with pytest.raises(ConfigurationError):
+            parse_serve_spec("70000")
+
+
+class TestTelemetryServer:
+    @pytest.fixture()
+    def server(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0) as server:
+            yield server
+
+    def test_rejects_disabled_telemetry(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(Telemetry.disabled())
+
+    def test_health_endpoint(self, server):
+        status, ctype, body = _get(f"{server.url}/health")
+        assert status == 200 and ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_dashboard_is_served(self, server):
+        status, ctype, body = _get(f"{server.url}/")
+        assert status == 200 and ctype.startswith("text/html")
+        for marker in ("/metrics", "/trace?since=", "/progress",
+                       "rcoal live telemetry"):
+            assert marker in body
+
+    def test_metrics_json_is_stable(self, server):
+        server.telemetry.metrics.counter("a.z").inc(3)
+        server.telemetry.metrics.counter("a.a").inc(1)
+        _, _, body = _get(f"{server.url}/metrics")
+        payload = json.loads(body)
+        assert payload["metrics"]["a.z"]["value"] == 3
+        # Keys are sorted in the serialized body (deterministic output).
+        assert body.index('"a.a"') < body.index('"a.z"')
+        _, _, again = _get(f"{server.url}/metrics")
+        assert again == body
+
+    def test_trace_endpoint_drains_incrementally(self, server):
+        tracer = server.telemetry.tracer
+        for i in range(5):
+            tracer.complete(f"e{i}", "cat", ts=i, dur=2, args={"i": i})
+        _, _, body = _get(f"{server.url}/trace?since=0")
+        payload = json.loads(body)
+        assert [e["name"] for e in payload["events"]] \
+            == ["e0", "e1", "e2", "e3", "e4"]
+        assert payload["next_since"] == 5
+        _, _, body = _get(f"{server.url}/trace?since={payload['next_since']}")
+        assert json.loads(body)["events"] == []
+
+    def test_trace_endpoint_honors_limit(self, server):
+        tracer = server.telemetry.tracer
+        for i in range(10):
+            tracer.instant(f"e{i}", "cat", ts=i)
+        _, _, body = _get(f"{server.url}/trace?since=0&limit=3")
+        payload = json.loads(body)
+        assert [e["name"] for e in payload["events"]] == ["e7", "e8", "e9"]
+        assert payload["dropped"] == 7
+        assert payload["next_since"] == 10
+
+    def test_progress_reflects_board(self, server):
+        server.telemetry.board.publish("phase-a", 3, 10, elapsed=1.5,
+                                       eta=3.5)
+        _, _, body = _get(f"{server.url}/progress")
+        payload = json.loads(body)
+        assert payload["phases"]["phase-a"]["done"] == 3
+        assert payload["phases"]["phase-a"]["percent"] == 30.0
+        assert payload["done"] == 3 and payload["total"] == 10
+
+
+class TestServeDuringRun:
+    """Poll a live server while a real experiment batch executes."""
+
+    def test_endpoints_grow_monotonically_during_run(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        ctx = ExperimentContext(root_seed=123, samples=6,
+                                telemetry=telemetry)
+        done = threading.Event()
+        failures = []
+
+        def run():
+            try:
+                collect_records(ctx, make_policy("baseline"), 6)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+            finally:
+                done.set()
+
+        with TelemetryServer(telemetry, port=0) as server:
+            worker = threading.Thread(target=run)
+            worker.start()
+            recorded, cursor = [], 0
+            while not done.is_set():
+                _, _, body = _get(f"{server.url}/metrics")
+                recorded.append(json.loads(body)["trace_recorded"])
+                _, _, body = _get(f"{server.url}/trace?since={cursor}")
+                payload = json.loads(body)
+                assert payload["next_since"] >= cursor
+                cursor = payload["next_since"]
+                done.wait(0.02)
+            worker.join()
+            assert not failures, failures
+
+            # Monotone growth while recording, and a final state that
+            # reflects the whole run.
+            assert recorded == sorted(recorded)
+            _, _, body = _get(f"{server.url}/metrics")
+            final = json.loads(body)
+            assert final["trace_recorded"] > 0
+            assert final["metrics"]["sim.kernels"]["value"] == 6
+            _, _, body = _get(f"{server.url}/progress")
+            progress = json.loads(body)
+            phase = progress["phases"]["baseline(M=1)"]
+            assert phase["done"] == 6 and phase["state"] == "done"
+
+    def test_parallel_run_fans_progress_into_board(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        ctx = ExperimentContext(root_seed=123, samples=4,
+                                telemetry=telemetry, jobs=2)
+        collect_records(ctx, make_policy("baseline"), 4)
+        snapshot = telemetry.board.snapshot()
+        phase = snapshot["phases"]["baseline(M=1)"]
+        assert phase["done"] == 4 and phase["total"] == 4
+        assert phase["state"] == "done"
