@@ -1,7 +1,7 @@
 # Convenience targets for the RCoal reproduction.
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
-        profile perf serve attribute check-metrics clean
+        profile perf serve attribute check-metrics chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -51,6 +51,11 @@ attribute:
 # Gate the metrics snapshot against the committed baseline (what CI runs).
 check-metrics:
 	rcoal metrics fig05 --samples 4 --check BASELINE_METRICS.json
+
+# Fault-injection suite: supervision, checkpoint/resume, crash-safe
+# writes; see docs/robustness.md.
+chaos:
+	REPRO_FAST=1 pytest tests/robustness/
 
 clean:
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info

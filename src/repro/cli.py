@@ -20,6 +20,13 @@ Observability subcommands (see ``docs/observability.md``)::
 Benchmarks (see ``docs/performance.md``)::
 
     rcoal bench                    # time workloads, emit BENCH_<n>.json
+
+Resilience (see ``docs/robustness.md``)::
+
+    rcoal fig07 --resume runs/f7          # checkpoint; rerun to resume
+    rcoal all -j 8 --resume runs/all      # per-experiment checkpoints
+    rcoal fig07 -j 4 --supervise          # deadlines, retries, quarantine
+    rcoal fig07 --supervise --faults raise@3   # deterministic chaos
 """
 
 from __future__ import annotations
@@ -30,11 +37,39 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import (
+    CheckpointMismatchError,
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+)
 from repro.experiments.base import ExperimentContext
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.telemetry import Telemetry, configure_logging
 
 __all__ = ["main"]
+
+# ---------------------------------------------------------------------------
+# Exit codes — the single place the error-class → exit-code mapping lives.
+# Scripts and CI assert on these; keep docs/robustness.md in sync.
+# ---------------------------------------------------------------------------
+
+EXIT_OK = 0
+EXIT_FAILURE = 1        # unexpected repro error; also metrics drift
+EXIT_USAGE = 2          # argparse's own code for bad flags, listed for docs
+EXIT_CONFIG = 3         # invalid configuration (unknown experiment, bad plan)
+EXIT_CHECKPOINT = 4     # --resume directory belongs to another campaign
+EXIT_WORKER = 5         # worker crash/timeout escaped the retry budget
+EXIT_QUARANTINE = 6     # run completed but samples were quarantined
+EXIT_INTERRUPT = 130    # Ctrl-C (128 + SIGINT, shell convention)
+
+#: First matching class wins — ordered most-specific first.
+EXIT_BY_ERROR = (
+    (CheckpointMismatchError, EXIT_CHECKPOINT),
+    (ExperimentError, EXIT_WORKER),
+    (ConfigurationError, EXIT_CONFIG),
+    (ReproError, EXIT_FAILURE),
+)
 
 #: Telemetry subcommands handled by dedicated parsers; everything else is
 #: the classic ``rcoal <experiment>`` form.
@@ -54,6 +89,87 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "(-v info, -vv debug)")
     parser.add_argument("--progress", action="store_true",
                         help="per-sample ETA reporting on stderr")
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resilience", "checkpoint/resume and worker supervision "
+        "(docs/robustness.md); all off by default — an unflagged run is "
+        "byte-identical to earlier releases")
+    group.add_argument("--resume", metavar="DIR", default=None,
+                       help="checkpoint completed samples under DIR and "
+                            "skip them on rerun; a resumed campaign "
+                            "reproduces the uninterrupted output byte for "
+                            "byte ('all' uses DIR/<experiment>)")
+    group.add_argument("--supervise", action="store_true",
+                       help="supervise workers: per-chunk deadlines, "
+                            "capped-backoff retries, poison-sample "
+                            "quarantine, degradation to serial when the "
+                            "pool keeps dying")
+    group.add_argument("--chunk-deadline", type=float, metavar="SECONDS",
+                       default=None,
+                       help="wall-clock deadline per worker chunk "
+                            "(implies --supervise; default 300)")
+    group.add_argument("--max-attempts", type=int, metavar="N", default=None,
+                       help="attempts per work item before it is split / "
+                            "quarantined (implies --supervise; default 3)")
+    group.add_argument("--faults", metavar="PLAN", default=None,
+                       help="inject deterministic faults, e.g. "
+                            "'raise@3,hang@0x*,torn@out.json' "
+                            "(chaos testing; see repro.faults)")
+
+
+def _resilience_fields(args) -> dict:
+    """``ExperimentContext`` fields for the resilience flags.
+
+    Empty when no flag is set, so the default path builds the exact same
+    context as before.
+    """
+    supervised = (args.supervise or args.chunk_deadline is not None
+                  or args.max_attempts is not None)
+    if not (supervised or args.resume or args.faults):
+        return {}
+    from repro.experiments.runner import CampaignStats, SupervisionPolicy
+    fields: dict = {"campaign": CampaignStats()}
+    if supervised:
+        overrides = {}
+        if args.chunk_deadline is not None:
+            overrides["chunk_deadline"] = args.chunk_deadline
+        if args.max_attempts is not None:
+            overrides["max_attempts"] = args.max_attempts
+        fields["supervision"] = SupervisionPolicy(**overrides)
+    if args.faults:
+        from repro.faults import install_plan, parse_fault_plan
+        plan = parse_fault_plan(args.faults)
+        install_plan(plan)  # arms write-site (torn) faults in this process
+        fields["faults"] = plan
+    return fields
+
+
+def _open_store(resume_dir: str, experiment_id: str, ctx,
+                multiple: bool, instrumented: bool):
+    """Open (or validate) the checkpoint store for one experiment."""
+    from repro.experiments.checkpoint import (
+        CheckpointStore,
+        campaign_fingerprint,
+    )
+    run_dir = os.path.join(resume_dir, experiment_id) if multiple \
+        else resume_dir
+    return CheckpointStore.open(
+        run_dir, campaign_fingerprint(experiment_id, ctx, instrumented))
+
+
+def _finish_campaign(campaign) -> int:
+    """Summarize supervision incidents; exit 6 when samples were lost."""
+    if campaign is None or not campaign.eventful():
+        return EXIT_OK
+    print(f"[campaign: {campaign.summary()}]", file=sys.stderr)
+    if campaign.failed_samples:
+        for entry in campaign.failed_samples:
+            print(f"  quarantined sample {entry['sample']} "
+                  f"({entry['phase']}): {entry['error']}", file=sys.stderr)
+        return EXIT_QUARANTINE
+    return EXIT_OK
 
 
 def _add_serve_argument(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(parser)
     _add_serve_argument(parser)
+    _add_resilience_arguments(parser)
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the result rows as CSV "
                              "(experiment id is appended for 'all')")
@@ -113,6 +230,7 @@ def _build_telemetry_parser(command: str) -> argparse.ArgumentParser:
                         help="experiment id (e.g. fig05, fig06)")
     _add_common_arguments(parser)
     _add_serve_argument(parser)
+    _add_resilience_arguments(parser)
     if command == "trace":
         parser.add_argument("--out", metavar="PATH", default="trace.json",
                             help="Chrome trace output path "
@@ -165,7 +283,11 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
         server = None
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, **_resilience_fields(args))
+    if args.resume:
+        ctx = ctx.with_(checkpoint=_open_store(
+            args.resume, args.experiment, ctx, multiple=False,
+            instrumented=True))
 
     try:
         start = time.time()
@@ -193,13 +315,13 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
         print("[open in chrome://tracing or https://ui.perfetto.dev]")
         if args.jsonl:
             print(f"[jsonl written to {tracer.write_jsonl(args.jsonl)}]")
-        return 0
+        return _finish_campaign(ctx.campaign)
 
     print(f"== {args.experiment}: telemetry metrics snapshot ==")
     print(telemetry.metrics.render_table())
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(telemetry.metrics.to_json())
+        from repro.utils import atomic_write_text
+        atomic_write_text(args.json, telemetry.metrics.to_json())
         print(f"[metrics json written to {args.json}]")
 
     if args.write_baseline or args.check:
@@ -225,9 +347,9 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
                 if len(drifts) > 50:
                     print(f"  ... and {len(drifts) - 50} more",
                           file=sys.stderr)
-                return 1
+                return EXIT_FAILURE
             print(f"[metrics match baseline {args.check}]")
-    return 0
+    return _finish_campaign(ctx.campaign)
 
 
 def _build_serve_parser() -> argparse.ArgumentParser:
@@ -243,6 +365,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         help="experiment id to run (e.g. fig07)")
     _add_common_arguments(parser)
+    _add_resilience_arguments(parser)
     parser.add_argument("--port", default="8000", metavar="PORT",
                         help="PORT or HOST:PORT to listen on "
                              "(default 8000 on 127.0.0.1)")
@@ -264,7 +387,11 @@ def _run_serve_command(argv: List[str]) -> int:
     server = _start_server(args.port, telemetry)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, **_resilience_fields(args))
+    if args.resume:
+        ctx = ctx.with_(checkpoint=_open_store(
+            args.resume, args.experiment, ctx, multiple=False,
+            instrumented=True))
     try:
         start = time.time()
         result = run_experiment(args.experiment, ctx)
@@ -281,7 +408,7 @@ def _run_serve_command(argv: List[str]) -> int:
                 pass
     finally:
         server.stop()
-    return 0
+    return _finish_campaign(ctx.campaign)
 
 
 def _build_bench_parser() -> argparse.ArgumentParser:
@@ -323,6 +450,22 @@ def _run_bench_command(argv: List[str]) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: dispatch, then map failures to documented codes."""
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        # The runner already flushed a partial-progress note; keep the
+        # last line short and the exit code distinct (128 + SIGINT).
+        print("[interrupted]", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except ReproError as exc:
+        code = next(code for cls, code in EXIT_BY_ERROR
+                    if isinstance(exc, cls))
+        print(f"error: {exc}", file=sys.stderr)
+        return code
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in _TELEMETRY_COMMANDS:
         return _run_telemetry_command(argv[0], argv[1:])
@@ -348,7 +491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         server = _start_server(args.serve, telemetry)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, **_resilience_fields(args))
 
     multiple = len(ids) > 1
 
@@ -390,21 +533,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         _publish_batch(0)
         if multiple and ctx.effective_jobs() > 1:
             # Whole experiments fan out across the pool; output order
-            # (and bytes) match a serial run.
+            # (and bytes) match a serial run. Workers open their own
+            # checkpoint stores and ship their incident ledgers back.
             from repro.experiments.runner import run_experiments_parallel
-            for done, (experiment_id, result, seconds) in enumerate(
-                    run_experiments_parallel(ids, ctx,
-                                             ctx.effective_jobs()), 1):
+            for done, (experiment_id, result, seconds, worker_stats) in \
+                    enumerate(run_experiments_parallel(
+                        ids, ctx, ctx.effective_jobs(),
+                        checkpoint_dir=args.resume), 1):
+                if ctx.campaign is not None:
+                    ctx.campaign.absorb(worker_stats)
                 _emit(experiment_id, result, seconds)
                 _publish_batch(done)
-            return 0
+            return _finish_campaign(ctx.campaign)
 
         for done, experiment_id in enumerate(ids, 1):
+            run_ctx = ctx
+            if args.resume:
+                run_ctx = ctx.with_(checkpoint=_open_store(
+                    args.resume, experiment_id, ctx, multiple=multiple,
+                    instrumented=telemetry is not None))
             start = time.time()
-            result = run_experiment(experiment_id, ctx)
+            result = run_experiment(experiment_id, run_ctx)
             _emit(experiment_id, result, time.time() - start)
             _publish_batch(done)
-        return 0
+        return _finish_campaign(ctx.campaign)
     finally:
         if server is not None:
             server.stop()

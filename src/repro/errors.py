@@ -46,6 +46,42 @@ class ProtocolError(SimulationError, RuntimeError):
     """
 
 
+class ExperimentError(ReproError):
+    """Base class for experiment-campaign execution errors.
+
+    Raised by the resilient runner (supervision, checkpoint/resume) when a
+    campaign cannot make progress. The CLI maps each subclass to a
+    documented exit code in :mod:`repro.cli` (``EXIT_BY_ERROR``).
+    """
+
+
+class WorkerTimeoutError(ExperimentError):
+    """A supervised worker chunk exceeded its wall-clock deadline.
+
+    The supervisor reaps the hung pool, retries the chunk with backoff,
+    and raises this only when the chunk keeps timing out past the retry
+    budget.
+    """
+
+
+class WorkerCrashError(ExperimentError):
+    """A supervised worker chunk raised or its process died.
+
+    Wraps the underlying cause (an exception propagated from the worker,
+    or a ``BrokenProcessPool`` when the process was killed outright).
+    """
+
+
+class CheckpointMismatchError(ExperimentError):
+    """A ``--resume`` directory was recorded under a different campaign.
+
+    The checkpoint fingerprint (experiment id, root seed, sample count,
+    config hash, ``REPRO_FAST``/``REPRO_SAMPLES`` context, instrumentation)
+    must match exactly: resuming under different knobs would silently mix
+    results from two different campaigns.
+    """
+
+
 class AttackError(ReproError):
     """Base class for attack-framework errors."""
 

@@ -69,6 +69,21 @@ class ExperimentContext:
     #: one per CPU). Parallel runs are bit-identical to serial because all
     #: per-sample randomness is derived from (root_seed, stream, sample).
     jobs: int = 1
+    #: Optional worker supervision (deadlines, retries, quarantine) — a
+    #: ``repro.experiments.runner.SupervisionPolicy``. None (the default)
+    #: means unsupervised: failures propagate, nothing is retried, and
+    #: collection takes the exact pre-supervision code path.
+    supervision: Optional[object] = None
+    #: Optional deterministic fault plan (``repro.faults.FaultPlan``) fired
+    #: at sample boundaries — testing/chaos only.
+    faults: Optional[object] = None
+    #: Optional campaign checkpoint store
+    #: (``repro.experiments.checkpoint.CheckpointStore``) for --resume.
+    checkpoint: Optional[object] = None
+    #: Mutable incident ledger (``repro.experiments.runner.CampaignStats``)
+    #: the resilient runner reports retries/quarantines into; read by the
+    #: CLI after the run for the exit code and the stderr summary.
+    campaign: Optional[object] = None
 
     def sample_count(self, paper: int = 100, fast: int = 40) -> int:
         if self.samples is not None:
@@ -167,6 +182,14 @@ def collect_records(
     depend on the samples before it, a ``ctx.jobs > 1`` context fans the
     batch out across worker processes with bit-identical results.
     """
+    if (ctx.supervision is not None or ctx.checkpoint is not None
+            or ctx.faults is not None):
+        from repro.experiments.runner import collect_records_resilient
+        return collect_records_resilient(
+            ctx, policy, num_samples,
+            counts_only=counts_only,
+            retain_kernel_results=retain_kernel_results,
+        )
     if ctx.effective_jobs() > 1 and num_samples > 1:
         from repro.experiments.runner import collect_records_parallel
         return collect_records_parallel(

@@ -155,9 +155,8 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
 def write_bench(report: Dict[str, object], path: Optional[str] = None) -> str:
     """Write a bench report as pretty JSON; returns the path."""
     target = path or default_bench_path()
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    from repro.utils import atomic_write_json
+    atomic_write_json(target, report, indent=2, sort_keys=False)
     return target
 
 

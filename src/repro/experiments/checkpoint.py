@@ -1,0 +1,219 @@
+"""Campaign checkpoint/resume (``rcoal <exp> --resume DIR``).
+
+A paper-scale campaign (``REPRO_SAMPLES=100`` across every mechanism)
+takes long enough that a hung worker, an OOM kill, or a Ctrl-C must not
+mean starting over. The per-sample RNG derivation ``(root_seed,
+"name#sample<i>")`` that makes the parallel runner bit-identical also
+makes resume free of replay cost: any sample can be re-simulated in
+isolation, so a checkpoint only has to remember which samples finished
+and what they produced.
+
+Layout of a run directory::
+
+    <run_dir>/
+      manifest.json                  # campaign fingerprint (atomic write)
+      phases/<slug>-<hash>/          # one dir per collect_records phase
+        chunk-00000-00003.pkl        # records (+ telemetry) for samples 0-3
+      failed_samples.json            # quarantine report, when any (atomic)
+
+Each chunk file is one pickled :class:`ChunkResult`, written atomically
+(tempfile + fsync + ``os.replace``), so an interrupted save can never
+leave a truncated chunk: on resume the chunk either exists completely or
+the samples are simply re-simulated. Chunks hold *per-sample results in
+sample order*; telemetry merge is boundary-insensitive (time bases
+telescope, counters add), so a resumed instrumented run merges stored and
+fresh chunks in sample order and reproduces the uninterrupted telemetry
+bit for bit.
+
+The manifest pins the **campaign fingerprint** — experiment id, root
+seed, sample override, plaintext lines, GPU config hash, the
+``REPRO_FAST``/``REPRO_SAMPLES`` scaling context, and whether the run is
+instrumented. Resuming under a different fingerprint raises
+:class:`~repro.errors.CheckpointMismatchError` with a field-by-field
+diff: mixing results from two different campaigns would corrupt the
+output silently, which is strictly worse than starting over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CheckpointMismatchError
+from repro.telemetry import Telemetry, get_logger
+from repro.telemetry.baseline import compare_snapshots
+from repro.telemetry.metrics import stable_json
+from repro.utils import atomic_write_bytes, atomic_write_text
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ChunkResult",
+    "CheckpointStore",
+    "campaign_fingerprint",
+    "config_hash",
+]
+
+log = get_logger(__name__)
+
+CHECKPOINT_FORMAT = 1
+
+
+def config_hash(config) -> str:
+    """Stable short hash of a GPU configuration (``"default"`` for None)."""
+    if config is None:
+        return "default"
+    if is_dataclass(config):
+        fields = asdict(config)
+    else:
+        fields = dict(vars(config))
+    fields = {name: fields[name] for name in sorted(fields)}
+    digest = hashlib.sha256(
+        stable_json(fields, indent=None).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def campaign_fingerprint(experiment_id: str, ctx,
+                         instrumented: bool) -> dict:
+    """Everything a checkpoint's validity depends on.
+
+    ``jobs`` is deliberately excluded — parallel runs are bit-identical to
+    serial, so a campaign started with ``-j 8`` may be resumed with
+    ``-j 1`` (or vice versa) and still reproduce the uninterrupted output.
+    """
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "experiment": experiment_id,
+        "root_seed": ctx.root_seed,
+        "samples": ctx.samples,
+        "lines": ctx.lines,
+        "config": config_hash(ctx.config),
+        "repro_fast": os.environ.get("REPRO_FAST") or None,
+        "repro_samples": os.environ.get("REPRO_SAMPLES") or None,
+        "instrumented": bool(instrumented),
+    }
+
+
+@dataclass
+class ChunkResult:
+    """One completed contiguous span of samples for one phase."""
+
+    indices: Tuple[int, ...]
+    records: list
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def start(self) -> int:
+        return self.indices[0]
+
+
+def _phase_slug(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-") or "phase"
+
+
+class CheckpointStore:
+    """Persistence for one campaign's completed per-sample results.
+
+    Open with :meth:`open` (validates or records the fingerprint), then
+    per collection phase: :meth:`completed_indices` to skip finished
+    samples, :meth:`save_chunk` as spans complete, :meth:`load_chunks` to
+    fold stored results back in sample order.
+    """
+
+    def __init__(self, run_dir, fingerprint: dict):
+        self.run_dir = Path(run_dir)
+        self.fingerprint = fingerprint
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, run_dir, fingerprint: dict) -> "CheckpointStore":
+        """Create or resume a run directory for this fingerprint.
+
+        A fresh/empty directory gets a manifest; an existing one must have
+        been recorded under the *same* fingerprint, else this raises
+        :class:`CheckpointMismatchError` naming every differing field.
+        """
+        run_dir = Path(run_dir)
+        manifest = run_dir / "manifest.json"
+        if manifest.exists():
+            with open(manifest, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+            drifts = compare_snapshots(stored, fingerprint,
+                                       path="fingerprint")
+            if drifts:
+                raise CheckpointMismatchError(
+                    f"checkpoint {run_dir} was recorded for a different "
+                    f"campaign; refusing to mix results:\n  "
+                    + "\n  ".join(drifts)
+                    + "\n(use a fresh --resume directory, or rerun with "
+                      "the original context)"
+                )
+            log.info("resuming campaign checkpoint at %s", run_dir)
+        else:
+            run_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(manifest, stable_json(fingerprint) + "\n")
+            log.info("started campaign checkpoint at %s", run_dir)
+        return cls(run_dir, fingerprint)
+
+    # -- phases ---------------------------------------------------------------
+
+    def phase_dir(self, label: str, make: bool = False) -> Path:
+        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
+        path = self.run_dir / "phases" / f"{_phase_slug(label)}-{digest}"
+        if make:
+            path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def load_chunks(self, label: str) -> List[ChunkResult]:
+        """All stored chunks of a phase, sorted by first sample index.
+
+        An unreadable chunk file (which the atomic writer makes nearly
+        impossible) is skipped with a warning — its samples just get
+        re-simulated, which is always safe.
+        """
+        directory = self.phase_dir(label)
+        chunks: List[ChunkResult] = []
+        if not directory.is_dir():
+            return chunks
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".pkl"):
+                continue
+            path = directory / name
+            try:
+                with open(path, "rb") as handle:
+                    chunk = pickle.load(handle)
+            except Exception as exc:  # corrupt/foreign file: re-simulate
+                log.warning("skipping unreadable checkpoint chunk %s: %s",
+                            path, exc)
+                continue
+            chunks.append(chunk)
+        chunks.sort(key=lambda chunk: chunk.start)
+        return chunks
+
+    def completed_indices(self, label: str) -> set:
+        return {index for chunk in self.load_chunks(label)
+                for index in chunk.indices}
+
+    def save_chunk(self, label: str, chunk: ChunkResult) -> Path:
+        """Persist one completed chunk, atomically."""
+        directory = self.phase_dir(label, make=True)
+        path = directory / (f"chunk-{chunk.indices[0]:05d}-"
+                            f"{chunk.indices[-1]:05d}.pkl")
+        return atomic_write_bytes(path, pickle.dumps(chunk, protocol=4))
+
+    # -- quarantine report ----------------------------------------------------
+
+    def record_failed_samples(self, failed: Sequence[dict]) -> None:
+        """Persist the quarantine report next to the manifest."""
+        atomic_write_text(self.run_dir / "failed_samples.json",
+                          stable_json(list(failed)) + "\n")
+
+    def describe(self) -> str:
+        return str(self.run_dir)

@@ -9,6 +9,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.experiments.base import ExperimentResult
+from repro.utils import atomic_write_text
 
 __all__ = ["to_csv", "to_json", "write_csv", "write_json"]
 
@@ -45,14 +46,10 @@ def to_json(result: ExperimentResult) -> str:
 
 
 def write_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
-    """Write the result as CSV; returns the path written."""
-    path = Path(path)
-    path.write_text(to_csv(result), encoding="utf-8")
-    return path
+    """Write the result as CSV, atomically; returns the path written."""
+    return atomic_write_text(Path(path), to_csv(result))
 
 
 def write_json(result: ExperimentResult, path: Union[str, Path]) -> Path:
-    """Write the result as JSON; returns the path written."""
-    path = Path(path)
-    path.write_text(to_json(result), encoding="utf-8")
-    return path
+    """Write the result as JSON, atomically; returns the path written."""
+    return atomic_write_text(Path(path), to_json(result))

@@ -1,4 +1,4 @@
-"""Process-parallel experiment execution.
+"""Process-parallel and resilient experiment execution.
 
 The paper's evaluation protocol is embarrassingly parallel twice over:
 ``rcoal all`` runs ~20 independent experiments, and inside each one
@@ -18,6 +18,17 @@ serial run:
   aggregated status line (``ProgressAggregator``), never interleaved
   stderr writes.
 
+The same per-sample derivation is what makes the **resilience layer**
+(:func:`collect_records_resilient`) free of replay cost: completed sample
+spans checkpoint to disk and a resumed campaign re-simulates only the
+missing indices, byte-identical to an uninterrupted run. A
+:class:`SupervisionPolicy` adds worker supervision on top — per-chunk
+deadlines that reap hung workers, capped-exponential-backoff retries,
+failing-chunk splitting to isolate poison samples, quarantine instead of
+campaign abort, and graceful degradation to in-process execution when the
+pool itself keeps dying. Supervision and checkpointing are **off by
+default**: the happy path below is byte-identical to earlier releases.
+
 Workers inherit the parent's environment (``REPRO_FAST`` etc.); payload
 functions live at module level so the pool works under both the ``fork``
 and ``spawn`` start methods.
@@ -25,20 +36,29 @@ and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import sys
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import CoalescingPolicy
+from repro.errors import WorkerCrashError
 from repro.experiments.base import (
     ExperimentContext,
     ExperimentResult,
     build_server,
     victim_stream_name,
 )
+from repro.experiments.checkpoint import ChunkResult, config_hash
 from repro.telemetry import (
     ProgressAggregator,
+    ProgressReporter,
     QueueProgress,
     Telemetry,
     get_logger,
@@ -48,8 +68,11 @@ from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
 __all__ = [
+    "CampaignStats",
+    "SupervisionPolicy",
     "chunk_indices",
     "collect_records_parallel",
+    "collect_records_resilient",
     "run_experiments_parallel",
 ]
 
@@ -63,6 +86,97 @@ _WORKER_PROGRESS_QUEUE = None
 def _init_worker(progress_queue) -> None:
     global _WORKER_PROGRESS_QUEUE
     _WORKER_PROGRESS_QUEUE = progress_queue
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs of the worker supervisor (see ``docs/robustness.md``).
+
+    Attached to an :class:`ExperimentContext` (``--supervise`` on the
+    CLI); ``None`` — the default — means no supervision: failures
+    propagate and nothing is retried, exactly the pre-supervision
+    behavior.
+    """
+
+    #: Wall-clock seconds one chunk attempt may take before the pool is
+    #: reaped and the chunk retried. ``None`` disables deadlines.
+    chunk_deadline: Optional[float] = 300.0
+    #: Attempts per work item before it is split (multi-sample chunks) or
+    #: quarantined (single samples).
+    max_attempts: int = 3
+    #: Capped exponential backoff between retry rounds, in seconds:
+    #: ``min(cap, base * 2**(attempt-1))``. A base of 0 disables sleeping
+    #: (the fault-injection tests run with 0 — no clocks, no flakes).
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: Pool rebuilds tolerated (after timeouts/kills) before degrading to
+    #: in-process serial execution for the rest of the phase.
+    max_pool_restarts: int = 2
+    #: Parallel chunking granularity: aim for this many chunks per worker,
+    #: so a killed chunk forfeits only a fraction of a worker's samples
+    #: and splitting isolates poison samples quickly.
+    chunks_per_worker: int = 4
+    #: Serial checkpointing granularity, in samples per chunk.
+    serial_chunk_samples: int = 8
+
+    def backoff(self, attempt: int) -> float:
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** max(0, attempt - 1)))
+
+
+@dataclass
+class CampaignStats:
+    """Mutable incident ledger for one campaign (one CLI invocation).
+
+    The resilient runner increments these as it supervises; the CLI reads
+    them afterwards for the exit code and the stderr summary. Workers get
+    a pickled copy, so only parent-side incidents accumulate here — the
+    live cross-process view is the telemetry board's incident counters.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    splits: int = 0
+    pool_restarts: int = 0
+    degraded_serial: bool = False
+    resumed_samples: int = 0
+    failed_samples: List[dict] = field(default_factory=list)
+
+    def absorb(self, other: Optional["CampaignStats"]) -> None:
+        """Fold a worker's ledger into this one (``all -j N`` fan-in)."""
+        if other is None:
+            return
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.crashes += other.crashes
+        self.splits += other.splits
+        self.pool_restarts += other.pool_restarts
+        self.degraded_serial = self.degraded_serial or other.degraded_serial
+        self.resumed_samples += other.resumed_samples
+        self.failed_samples.extend(other.failed_samples)
+
+    def eventful(self) -> bool:
+        return bool(self.retries or self.timeouts or self.crashes
+                    or self.splits or self.pool_restarts
+                    or self.degraded_serial or self.resumed_samples
+                    or self.failed_samples)
+
+    def summary(self) -> str:
+        parts = [f"retries={self.retries}", f"timeouts={self.timeouts}",
+                 f"crashes={self.crashes}"]
+        if self.splits:
+            parts.append(f"splits={self.splits}")
+        if self.pool_restarts:
+            parts.append(f"pool_restarts={self.pool_restarts}")
+        if self.degraded_serial:
+            parts.append("degraded=serial")
+        if self.resumed_samples:
+            parts.append(f"resumed={self.resumed_samples}")
+        parts.append(f"quarantined={len(self.failed_samples)}")
+        return " ".join(parts)
 
 
 def chunk_indices(count: int, chunks: int) -> List[range]:
@@ -83,11 +197,69 @@ def chunk_indices(count: int, chunks: int) -> List[range]:
     return ranges
 
 
+def _contiguous_chunks(indices: Sequence[int],
+                       target_size: int) -> List[Tuple[int, ...]]:
+    """Group sorted sample indices into contiguous runs of at most
+    ``target_size``.
+
+    Resume leaves arbitrary holes in the sample space; chunks must stay
+    contiguous so stored and fresh telemetry merge back in sample order.
+    """
+    target_size = max(1, target_size)
+    chunks: List[Tuple[int, ...]] = []
+    current: List[int] = []
+    for index in indices:
+        if current and (index != current[-1] + 1
+                        or len(current) >= target_size):
+            chunks.append(tuple(current))
+            current = []
+        current.append(index)
+    if current:
+        chunks.append(tuple(current))
+    return chunks
+
+
+def _abort_pool(pool, futures: Sequence = ()) -> None:
+    """Tear a pool down *now*: cancel, stop feeding, kill the processes.
+
+    Used on Ctrl-C and when the supervisor reaps a hung chunk — a plain
+    ``shutdown(wait=True)`` would block behind the hang forever.
+    """
+    for future in futures:
+        future.cancel()
+    process_objects = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in process_objects:
+        if proc.is_alive():
+            proc.kill()
+    for proc in process_objects:
+        proc.join(timeout=2)
+
+
 def _collect_chunk(payload) -> Tuple[List[EncryptionRecord],
                                      Optional[Telemetry]]:
     """Worker: simulate one contiguous chunk of a sample batch."""
     (ctx, policy, num_samples, indices, counts_only,
      retain_kernel_results, trace_capacity) = payload
+    progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
+    return _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
+                           retain_kernel_results, trace_capacity,
+                           faults=None, attempt=0, progress=progress,
+                           in_worker=True)
+
+
+def _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
+                    retain_kernel_results, trace_capacity, faults, attempt,
+                    progress, in_worker) -> Tuple[List[EncryptionRecord],
+                                                  Optional[Telemetry]]:
+    """Simulate one contiguous span of samples into a private telemetry.
+
+    Shared by the plain pool worker, the supervised pool worker, and the
+    in-process resilient path, so all three produce identical records and
+    mergeable telemetry. Fault checks run *before* a sample simulates:
+    a retried chunk re-simulates from scratch, so partial work from a
+    failed attempt never leaks into the results.
+    """
     telemetry = (Telemetry(trace_capacity=trace_capacity)
                  if trace_capacity else None)
     # Regenerating the full batch keeps workers seed-identical to serial;
@@ -98,15 +270,29 @@ def _collect_chunk(payload) -> Tuple[List[EncryptionRecord],
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=telemetry)
-    progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
     stream_name = victim_stream_name(policy)
     records = []
     for index in indices:
+        if faults is not None:
+            faults.maybe_fire_sample(index, attempt, in_worker=in_worker)
         records.append(server.encrypt(
             plaintexts[index], rng=ctx.sample_stream(stream_name, index)
         ))
         progress.update()
     return records, telemetry
+
+
+def _collect_chunk_supervised(payload) -> Tuple[List[EncryptionRecord],
+                                                Optional[Telemetry]]:
+    """Worker: supervised variant of :func:`_collect_chunk` — carries the
+    fault plan and the supervisor-assigned attempt number."""
+    (ctx, policy, num_samples, indices, counts_only, retain_kernel_results,
+     trace_capacity, faults, attempt) = payload
+    progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
+    return _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
+                           retain_kernel_results, trace_capacity,
+                           faults=faults, attempt=attempt,
+                           progress=progress, in_worker=True)
 
 
 def collect_records_parallel(
@@ -123,12 +309,16 @@ def collect_records_parallel(
     serial path. When ``ctx.telemetry`` is enabled, each worker records
     into a private :class:`Telemetry` and the chunks are merged back in
     order, so metrics and traces also match a serial instrumented run.
+
+    A Ctrl-C mid-fan-out cancels pending chunks, kills the worker
+    processes, flushes a partial-progress note to stderr, and re-raises —
+    the CLI maps it to a distinct exit code instead of a traceback.
     """
     jobs = min(ctx.effective_jobs(), num_samples)
     telemetry = ctx.telemetry
     instrumented = telemetry is not None and telemetry.enabled
     trace_capacity = telemetry.tracer.capacity if instrumented else 0
-    worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1)
+    worker_ctx = _worker_context(ctx)
 
     progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
     board = telemetry.board if instrumented else None
@@ -157,11 +347,19 @@ def collect_records_parallel(
         ]
         # Collect in submission (= sample) order; merge telemetry the
         # same way so the stitched result equals a serial run's.
-        for future in futures:
-            chunk_records, chunk_telemetry = future.result()
-            records.extend(chunk_records)
-            if instrumented:
-                telemetry.merge(chunk_telemetry)
+        try:
+            for future in futures:
+                chunk_records, chunk_telemetry = future.result()
+                records.extend(chunk_records)
+                if instrumented:
+                    telemetry.merge(chunk_telemetry)
+        except KeyboardInterrupt:
+            _abort_pool(pool, futures)
+            print(f"\n[interrupted: {len(records)}/{num_samples} samples "
+                  f"collected under {policy.describe()}; partial results "
+                  f"discarded — use --resume to make campaigns "
+                  f"restartable]", file=sys.stderr)
+            raise
 
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
@@ -169,34 +367,448 @@ def collect_records_parallel(
     return server, records
 
 
-def _run_one_experiment(payload) -> Tuple[str, ExperimentResult, float]:
-    """Worker: run one full experiment serially."""
-    ctx, experiment_id = payload
+# ---------------------------------------------------------------------------
+# Resilient execution: checkpoint/resume + worker supervision.
+# ---------------------------------------------------------------------------
+
+
+def _worker_context(ctx: ExperimentContext) -> ExperimentContext:
+    """Strip everything a chunk worker must not inherit: the parent's
+    telemetry sink, progress reporter, nested parallelism, and the whole
+    resilience layer (supervision happens in the parent only)."""
+    return ctx.with_(telemetry=None, progress=False, jobs=1,
+                     supervision=None, faults=None, checkpoint=None,
+                     campaign=None)
+
+
+def _phase_label(ctx: ExperimentContext, policy: CoalescingPolicy,
+                 num_samples: int, counts_only: bool,
+                 retain_kernel_results: bool) -> str:
+    """Checkpoint phase identity: everything that shapes this phase's
+    records beyond the campaign-level fingerprint."""
+    return (f"{policy.describe()}|n={num_samples}"
+            f"|counts={int(counts_only)}"
+            f"|retain={int(retain_kernel_results)}"
+            f"|lines={ctx.lines}|cfg={config_hash(ctx.config)}")
+
+
+def _note_incident(board, kind: str) -> None:
+    if board is not None:
+        board.incident(kind)
+
+
+class _PhaseSupervisor:
+    """Drives one collection phase's work items to completion.
+
+    Owns the retry/split/quarantine bookkeeping shared by the pool loop
+    and the in-process loop. ``results`` maps a chunk's first sample index
+    to its :class:`ChunkResult`; ``failed`` maps quarantined sample
+    indices to their final error string.
+    """
+
+    def __init__(self, sup: Optional[SupervisionPolicy],
+                 campaign: CampaignStats, board, label: str,
+                 save) -> None:
+        self.sup = sup or SupervisionPolicy()
+        self.supervised = sup is not None
+        self.campaign = campaign
+        self.board = board
+        self.label = label
+        self._save = save
+        self.results: Dict[int, ChunkResult] = {}
+        self.failed: Dict[int, str] = {}
+
+    def complete(self, indices: Tuple[int, ...], records,
+                 telemetry) -> None:
+        chunk = ChunkResult(tuple(indices), records, telemetry)
+        self.results[chunk.start] = chunk
+        self._save(chunk)
+
+    def handle_failure(self, pending: deque, indices: Tuple[int, ...],
+                       attempt: int, exc: BaseException) -> float:
+        """Reschedule, split, or quarantine a failed work item.
+
+        Returns the backoff delay to apply before the next attempt round.
+        Without supervision the failure propagates unchanged (completed
+        chunks stay checkpointed, so a later ``--resume`` picks up here).
+        """
+        if not self.supervised:
+            raise exc
+        next_attempt = attempt + 1
+        if next_attempt < self.sup.max_attempts:
+            pending.append((indices, next_attempt))
+            self.campaign.retries += 1
+            _note_incident(self.board, "retry")
+            log.warning("retrying samples %d-%d of %s (attempt %d/%d): %s",
+                        indices[0], indices[-1], self.label, next_attempt,
+                        self.sup.max_attempts, exc)
+            return self.sup.backoff(next_attempt)
+        if len(indices) > 1:
+            mid = len(indices) // 2
+            pending.append((indices[:mid], 0))
+            pending.append((indices[mid:], 0))
+            self.campaign.splits += 1
+            _note_incident(self.board, "split")
+            log.warning("splitting failing chunk %d-%d of %s to isolate "
+                        "the poison sample", indices[0], indices[-1],
+                        self.label)
+            return self.sup.backoff(1)
+        index = indices[0]
+        reason = f"{type(exc).__name__}: {exc}"
+        self.failed[index] = reason
+        self.campaign.failed_samples.append(
+            {"phase": self.label, "sample": index, "error": reason}
+        )
+        _note_incident(self.board, "quarantined")
+        log.error("quarantining sample %d of %s after %d attempts: %s",
+                  index, self.label, self.sup.max_attempts, reason)
+        return 0.0
+
+
+def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
+                       worker_ctx, policy, num_samples, counts_only,
+                       retain_kernel_results, trace_capacity, faults,
+                       reporter) -> None:
+    """In-process work loop: the serial resilient path, also the
+    degraded-mode fallback when the pool keeps dying."""
+    while pending:
+        indices, attempt = pending.popleft()
+        try:
+            records, telemetry = _simulate_chunk(
+                worker_ctx, policy, num_samples, indices, counts_only,
+                retain_kernel_results, trace_capacity, faults, attempt,
+                reporter, in_worker=False)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            supervisor.campaign.crashes += 1
+            _note_incident(supervisor.board, "crash")
+            delay = supervisor.handle_failure(pending, indices, attempt,
+                                              exc)
+            if delay > 0:
+                time.sleep(delay)
+            continue
+        supervisor.complete(indices, records, telemetry)
+
+
+def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
+                     worker_ctx, policy, num_samples, counts_only,
+                     retain_kernel_results, trace_capacity, faults,
+                     jobs: int, queue, reporter) -> None:
+    """Pool work loop with deadlines, retries, and pool resurrection.
+
+    Work items are submitted in rounds (everything currently pending);
+    results are collected in submission order so completion bookkeeping
+    stays deterministic. A timeout or a died worker kills the whole pool —
+    a :class:`ProcessPoolExecutor` cannot reap a single hung process —
+    and completed sibling futures keep their results while unfinished
+    siblings are rescheduled at their current attempt. After
+    ``max_pool_restarts`` rebuilds the phase degrades to in-process
+    serial execution, where ``hang``/``exit`` faults surface as plain
+    raises and the retry/quarantine machinery still applies.
+    """
+    sup = supervisor.sup
+    campaign = supervisor.campaign
+    deadline = sup.chunk_deadline if supervisor.supervised else None
+    pool: Optional[ProcessPoolExecutor] = None
+    restarts = 0
+    try:
+        while pending:
+            if restarts > sup.max_pool_restarts:
+                campaign.degraded_serial = True
+                _note_incident(supervisor.board, "degraded-serial")
+                log.warning("%s: pool died %d times; degrading to "
+                            "in-process serial execution",
+                            supervisor.label, restarts)
+                if pool is not None:
+                    _abort_pool(pool)
+                    pool = None
+                _run_chunks_serial(supervisor, pending, worker_ctx, policy,
+                                   num_samples, counts_only,
+                                   retain_kernel_results, trace_capacity,
+                                   faults, reporter)
+                return
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=jobs,
+                                           initializer=_init_worker,
+                                           initargs=(queue,))
+            round_items = list(pending)
+            pending.clear()
+            futures = [
+                (pool.submit(_collect_chunk_supervised,
+                             (worker_ctx, policy, num_samples,
+                              list(indices), counts_only,
+                              retain_kernel_results, trace_capacity,
+                              faults, attempt)), indices, attempt)
+                for indices, attempt in round_items
+            ]
+            pool_dead = False
+            max_delay = 0.0
+            for future, indices, attempt in futures:
+                if pool_dead:
+                    # The pool was reaped mid-round. Keep results that
+                    # finished in time; reschedule the rest at attempt+1.
+                    # A pool death cannot be attributed to one chunk, so
+                    # every unfinished chunk advances — the one whose
+                    # fault killed the pool stops refiring a transient
+                    # fault, and innocents merely carry a higher attempt
+                    # number (harmless unless they actually fail).
+                    salvaged = False
+                    if future.done() and not future.cancelled():
+                        try:
+                            records, telemetry = future.result(timeout=0)
+                            supervisor.complete(indices, records,
+                                                telemetry)
+                            salvaged = True
+                        except Exception:
+                            pass
+                    if not salvaged:
+                        future.cancel()
+                        pending.append((indices, attempt + 1))
+                    continue
+                try:
+                    records, telemetry = future.result(timeout=deadline)
+                    supervisor.complete(indices, records, telemetry)
+                except FuturesTimeoutError:
+                    campaign.timeouts += 1
+                    campaign.pool_restarts += 1
+                    _note_incident(supervisor.board, "timeout")
+                    log.warning("samples %d-%d of %s exceeded the %.1fs "
+                                "chunk deadline; reaping the pool",
+                                indices[0], indices[-1], supervisor.label,
+                                deadline)
+                    _abort_pool(pool)
+                    pool = None
+                    pool_dead = True
+                    restarts += 1
+                    # Pool-level failures can't be pinned on one chunk (the
+                    # future we were waiting on may be an innocent sibling
+                    # of the real hang), so no split/quarantine here — just
+                    # advance the attempt and let degraded-serial mode make
+                    # the precisely-attributed call if this keeps up.
+                    pending.append((indices, attempt + 1))
+                    campaign.retries += 1
+                    max_delay = max(max_delay, sup.backoff(attempt + 1))
+                except BrokenProcessPool as exc:
+                    campaign.crashes += 1
+                    _note_incident(supervisor.board, "worker-killed")
+                    log.warning("worker process died while running samples "
+                                "%d-%d of %s", indices[0], indices[-1],
+                                supervisor.label)
+                    pool = None  # the executor is already broken
+                    pool_dead = True
+                    if not supervisor.supervised:
+                        raise WorkerCrashError(
+                            f"worker process died while running samples "
+                            f"{indices[0]}-{indices[-1]} ({exc}); rerun "
+                            f"with --supervise to retry and quarantine"
+                        ) from exc
+                    campaign.pool_restarts += 1
+                    restarts += 1
+                    # Same attribution caveat as the deadline case above.
+                    pending.append((indices, attempt + 1))
+                    campaign.retries += 1
+                    max_delay = max(max_delay, sup.backoff(attempt + 1))
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    campaign.crashes += 1
+                    _note_incident(supervisor.board, "crash")
+                    max_delay = max(max_delay, supervisor.handle_failure(
+                        pending, indices, attempt, exc))
+            if pending and max_delay > 0:
+                time.sleep(max_delay)
+    except KeyboardInterrupt:
+        if pool is not None:
+            _abort_pool(pool)
+            pool = None
+        raise
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def collect_records_resilient(
+    ctx: ExperimentContext,
+    policy: CoalescingPolicy,
+    num_samples: int,
+    counts_only: bool = False,
+    retain_kernel_results: bool = False,
+) -> Tuple[EncryptionServer, List[EncryptionRecord]]:
+    """Checkpointed and/or supervised drop-in for ``collect_records``.
+
+    Engaged when the context carries a checkpoint store, a supervision
+    policy, or a fault plan. Completed sample spans are persisted as they
+    finish (atomic pickle chunks keyed by the campaign fingerprint), so an
+    interrupted campaign resumed with ``--resume`` re-simulates only the
+    missing samples and reproduces the uninterrupted output byte for byte
+    — chunk boundaries don't matter because telemetry merge telescopes in
+    sample order. Quarantined samples are *omitted* from the returned
+    records and reported on ``ctx.campaign`` / the progress board instead
+    of aborting the phase.
+    """
+    sup = ctx.supervision
+    campaign = ctx.campaign if ctx.campaign is not None else CampaignStats()
+    store = ctx.checkpoint
+    faults = (ctx.faults.bind(num_samples, ctx.root_seed)
+              if ctx.faults is not None else None)
+    telemetry = ctx.telemetry
+    instrumented = telemetry is not None and telemetry.enabled
+    trace_capacity = telemetry.tracer.capacity if instrumented else 0
+    board = telemetry.board if instrumented else None
+    worker_ctx = _worker_context(ctx)
+    label = _phase_label(ctx, policy, num_samples, counts_only,
+                         retain_kernel_results)
+
+    stored = store.load_chunks(label) if store is not None else []
+    completed = {index for chunk in stored for index in chunk.indices}
+    missing = [i for i in range(num_samples) if i not in completed]
+    if stored:
+        campaign.resumed_samples += num_samples - len(missing)
+        print(f"[resume: {num_samples - len(missing)}/{num_samples} "
+              f"samples of {policy.describe()} restored from "
+              f"{store.describe()}]", file=sys.stderr)
+
+    save = (lambda chunk: store.save_chunk(label, chunk)) \
+        if store is not None else (lambda chunk: None)
+    supervisor = _PhaseSupervisor(sup, campaign, board, label, save)
+    for chunk in stored:
+        supervisor.results[chunk.start] = chunk
+
+    log.info("collecting %d samples under %s (%d checkpointed, "
+             "supervised=%s)", num_samples, policy.describe(),
+             len(completed), sup is not None)
+
+    if missing:
+        jobs = min(ctx.effective_jobs(), len(missing))
+        policy_opts = supervisor.sup
+        if jobs > 1:
+            target = math.ceil(len(missing)
+                               / (jobs * policy_opts.chunks_per_worker))
+        else:
+            target = policy_opts.serial_chunk_samples
+        pending = deque((chunk, 0)
+                        for chunk in _contiguous_chunks(missing, target))
+        progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
+        try:
+            if jobs > 1:
+                queue = multiprocessing.get_context().Queue() \
+                    if progress_enabled or board is not None else None
+                with ProgressAggregator(
+                    num_samples, queue, label=policy.describe(),
+                    enabled=progress_enabled, board=board,
+                ) as aggregator:
+                    if completed:
+                        aggregator.reporter.update(len(completed))
+                    _run_chunks_pool(supervisor, pending, worker_ctx,
+                                     policy, num_samples, counts_only,
+                                     retain_kernel_results, trace_capacity,
+                                     faults, jobs, queue,
+                                     aggregator.reporter)
+            else:
+                reporter = ProgressReporter(
+                    num_samples, label=policy.describe(),
+                    enabled=progress_enabled, board=board)
+                if completed:
+                    reporter.update(len(completed))
+                _run_chunks_serial(supervisor, pending, worker_ctx, policy,
+                                   num_samples, counts_only,
+                                   retain_kernel_results, trace_capacity,
+                                   faults, reporter)
+                reporter.finish()
+        except KeyboardInterrupt:
+            done = sum(len(chunk.indices)
+                       for chunk in supervisor.results.values())
+            note = (f"\n[interrupted: {done}/{num_samples} samples of "
+                    f"{policy.describe()} done")
+            if store is not None:
+                note += f"; resume with --resume {store.describe()}"
+            print(note + "]", file=sys.stderr)
+            raise
+
+    if supervisor.failed:
+        if store is not None:
+            store.record_failed_samples(campaign.failed_samples)
+        print(f"[quarantined {len(supervisor.failed)} sample(s) under "
+              f"{policy.describe()}: "
+              f"{sorted(supervisor.failed)}]", file=sys.stderr)
+
+    # Fold everything — restored and fresh — back in sample order.
+    records: List[EncryptionRecord] = []
+    for start in sorted(supervisor.results):
+        chunk = supervisor.results[start]
+        records.extend(chunk.records)
+        if instrumented:
+            telemetry.merge(chunk.telemetry)
+
+    server = build_server(ctx, policy, counts_only=counts_only,
+                          retain_kernel_results=retain_kernel_results,
+                          telemetry=telemetry)
+    return server, records
+
+
+def _run_one_experiment(payload):
+    """Worker: run one full experiment serially.
+
+    Returns ``(experiment_id, result, seconds, campaign)`` — the campaign
+    stats are a worker-local :class:`CampaignStats` (or None when the
+    resilience layer is off) that the parent folds into its own ledger, so
+    quarantines inside ``all -j N`` workers still reach the CLI exit code.
+    """
+    ctx, experiment_id, checkpoint_dir = payload
     from repro.experiments.registry import run_experiment
+    if checkpoint_dir is not None:
+        import os
+
+        from repro.experiments.checkpoint import (
+            CheckpointStore,
+            campaign_fingerprint,
+        )
+        store = CheckpointStore.open(
+            os.path.join(checkpoint_dir, experiment_id),
+            campaign_fingerprint(experiment_id, ctx, instrumented=False),
+        )
+        ctx = ctx.with_(checkpoint=store)
+    if (ctx.supervision is not None or ctx.checkpoint is not None
+            or ctx.faults is not None):
+        ctx = ctx.with_(campaign=CampaignStats())
     start = time.perf_counter()
     result = run_experiment(experiment_id, ctx)
-    return experiment_id, result, time.perf_counter() - start
+    return experiment_id, result, time.perf_counter() - start, ctx.campaign
 
 
 def run_experiments_parallel(
     experiment_ids: Sequence[str],
     ctx: ExperimentContext,
     jobs: int,
+    checkpoint_dir: Optional[str] = None,
 ):
     """Run whole experiments across a process pool (``rcoal all -j N``).
 
-    Yields ``(experiment_id, result, seconds)`` tuples in the order the
-    ids were given — each experiment is internally deterministic, so the
-    combined output is byte-identical to a serial ``rcoal all``. Workers
-    run their experiment serially (``jobs=1``) to avoid nested pools.
+    Yields ``(experiment_id, result, seconds, campaign)`` tuples in the
+    order the ids were given — each experiment is internally
+    deterministic, so the combined output is byte-identical to a serial
+    ``rcoal all``. Workers run their experiment serially (``jobs=1``) to
+    avoid nested pools; with ``checkpoint_dir`` each worker opens its own
+    per-experiment checkpoint store under ``<dir>/<experiment_id>``.
     """
-    worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1)
+    worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1,
+                           checkpoint=None, campaign=None)
     with ProcessPoolExecutor(
         max_workers=max(1, min(jobs, len(experiment_ids)))
     ) as pool:
         futures = [
-            pool.submit(_run_one_experiment, (worker_ctx, experiment_id))
+            pool.submit(_run_one_experiment,
+                        (worker_ctx, experiment_id, checkpoint_dir))
             for experiment_id in experiment_ids
         ]
-        for future in futures:
-            yield future.result()
+        done = 0
+        try:
+            for future in futures:
+                yield future.result()
+                done += 1
+        except KeyboardInterrupt:
+            _abort_pool(pool, futures)
+            print(f"\n[interrupted: {done}/{len(experiment_ids)} "
+                  f"experiments completed]", file=sys.stderr)
+            raise

@@ -78,9 +78,8 @@ def update_baseline(path: str, experiment_id: str, context: dict,
         "context": _normalize(context),
         "metrics": _normalize(snapshot),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(stable_json(data))
-        handle.write("\n")
+    from repro.utils import atomic_write_text
+    atomic_write_text(path, stable_json(data) + "\n")
     return path
 
 

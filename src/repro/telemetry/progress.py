@@ -48,6 +48,7 @@ class ProgressBoard:
     def __init__(self):
         self._lock = threading.Lock()
         self._entries: dict = {}
+        self._incidents: dict = {}
         self._created = time.monotonic()
 
     def publish(self, label: str, done: int, total: int,
@@ -72,17 +73,29 @@ class ProgressBoard:
                 entry["state"] = "done"
                 entry["eta_seconds"] = 0.0
 
+    def incident(self, kind: str, amount: int = 1) -> None:
+        """Count one supervision incident (retry, timeout, quarantine...).
+
+        The resilient runner reports here so a ``--serve`` dashboard shows
+        campaign health live; ``/progress`` and ``/health`` surface the
+        counters.
+        """
+        with self._lock:
+            self._incidents[kind] = self._incidents.get(kind, 0) + amount
+
     def snapshot(self) -> dict:
         """All phases plus aggregate totals, as plain JSON-ready dicts."""
         with self._lock:
             phases = {label: dict(entry)
                       for label, entry in self._entries.items()}
+            incidents = dict(self._incidents)
         done = sum(e["done"] for e in phases.values())
         total = sum(e["total"] for e in phases.values())
         return {
             "phases": phases,
             "done": done,
             "total": total,
+            "incidents": incidents,
             "uptime_seconds": round(time.monotonic() - self._created, 3),
         }
 

@@ -117,7 +117,14 @@ class TelemetryServer:
                 "cannot serve a disabled telemetry sink: nothing records"
             )
         self.telemetry = telemetry
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind telemetry server to {host}:{port} "
+                f"({exc.strerror or exc}); pick another port, or use "
+                f"port 0 for an ephemeral one"
+            ) from exc
         self._httpd.daemon_threads = True
         self._httpd.owner = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -167,11 +174,14 @@ class TelemetryServer:
     # -- endpoint payloads (also the programmatic query surface) --------------
 
     def health(self) -> dict:
+        board = self.telemetry.board
+        incidents = board.snapshot()["incidents"] if board is not None else {}
         return {
-            "status": "ok",
+            "status": "degraded" if incidents else "ok",
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "trace_recorded": self.telemetry.tracer.recorded,
             "metrics": len(self.telemetry.metrics),
+            "incidents": incidents,
         }
 
     def metrics_json(self) -> str:
@@ -198,7 +208,7 @@ class TelemetryServer:
     def progress(self) -> dict:
         board = self.telemetry.board
         if board is None:
-            return {"phases": {}, "done": 0, "total": 0,
+            return {"phases": {}, "done": 0, "total": 0, "incidents": {},
                     "uptime_seconds": 0.0}
         return board.snapshot()
 

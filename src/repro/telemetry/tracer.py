@@ -210,15 +210,14 @@ class Tracer:
         }
 
     def write_chrome_trace(self, path: str) -> str:
-        """Write the Chrome trace JSON; returns the path."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.chrome_trace(), handle)
+        """Write the Chrome trace JSON atomically; returns the path."""
+        from repro.utils import atomic_write_text
+        atomic_write_text(path, json.dumps(self.chrome_trace()))
         return path
 
     def write_jsonl(self, path: str) -> str:
-        """Write one JSON object per event; returns the path."""
-        with open(path, "w", encoding="utf-8") as handle:
-            for event in self._events:
-                handle.write(json.dumps(event.to_chrome()))
-                handle.write("\n")
+        """Write one JSON object per event, atomically; returns the path."""
+        from repro.utils import atomic_write_text
+        lines = [json.dumps(event.to_chrome()) for event in self._events]
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
         return path

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterator, Sequence, TypeVar
+import tempfile
+from pathlib import Path
+from typing import Iterator, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -14,6 +17,9 @@ __all__ = [
     "env_flag",
     "fast_mode",
     "scaled_samples",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
 ]
 
 
@@ -67,3 +73,62 @@ def scaled_samples(paper_count: int, fast_count: int) -> int:
     if override:
         return int(override)
     return fast_count if fast_mode() else paper_count
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` so readers never see a partial file.
+
+    The bytes go to a temp file in the destination directory, are fsynced,
+    and the temp file is renamed over the destination (``os.replace``,
+    atomic on POSIX and Windows). A crash at any point leaves either the
+    previous content or the new content — never a truncated mix. Every
+    artifact writer in the package (bench reports, metrics baselines,
+    ``--json`` exports, checkpoints) routes through here; the torn-write
+    fault injection in :mod:`repro.faults` proves the property by tearing
+    the temp write and asserting the destination survives.
+    """
+    path = Path(path)
+    from repro.faults import active_plan
+
+    plan = active_plan()
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent or Path(".")),
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if plan is not None:
+                spec = plan.torn_write_fires(path.name)
+                if spec is not None:
+                    from repro.faults import TornWriteError
+
+                    handle.write(data[:len(data) // 2])
+                    raise TornWriteError(
+                        f"injected torn write {spec.describe()} while "
+                        f"writing {path}"
+                    )
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Crash-safe text write (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: Union[str, Path], obj, *, indent: int = 2,
+                      sort_keys: bool = False,
+                      trailing_newline: bool = True) -> Path:
+    """Crash-safe JSON write (see :func:`atomic_write_bytes`)."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,88 @@
+"""Crash-safe artifact writes: tempfile + fsync + atomic rename.
+
+The property under test: a reader never observes a partial file. Either
+the previous content survives or the new content is complete — proven by
+injecting a torn write (half the payload, then a raise before the rename)
+and asserting the destination is untouched and no temp litter remains.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import TornWriteError, install_plan, parse_fault_plan
+from repro.utils import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+@pytest.fixture(autouse=True)
+def _clear_fault_plan():
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        assert atomic_write_bytes(target, b"payload") == target
+        assert target.read_bytes() == b"payload"
+
+    def test_overwrites_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_json_helper_round_trips(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"a": [1, 2], "b": None})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": None}
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "content")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestTornWrite:
+    def test_torn_write_preserves_previous_content(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_text(target, "the good version")
+        install_plan(parse_fault_plan("torn@report.json"))
+        with pytest.raises(TornWriteError):
+            atomic_write_text(target, "the replacement that tears")
+        assert target.read_text() == "the good version"
+
+    def test_torn_write_leaves_no_destination_when_fresh(self, tmp_path):
+        target = tmp_path / "fresh.json"
+        install_plan(parse_fault_plan("torn@fresh.json"))
+        with pytest.raises(TornWriteError):
+            atomic_write_text(target, "never lands")
+        assert not target.exists()
+
+    def test_torn_write_leaves_no_temp_litter(self, tmp_path):
+        target = tmp_path / "report.json"
+        install_plan(parse_fault_plan("torn@report.json"))
+        with pytest.raises(TornWriteError):
+            atomic_write_text(target, "torn")
+        assert os.listdir(tmp_path) == []
+
+    def test_budget_consumed_then_write_succeeds(self, tmp_path):
+        # A `torn@X` (times=1) fault tears the first write only: the
+        # retry — exactly what a supervised campaign does — succeeds.
+        target = tmp_path / "report.json"
+        install_plan(parse_fault_plan("torn@report.json"))
+        with pytest.raises(TornWriteError):
+            atomic_write_text(target, "first attempt")
+        atomic_write_text(target, "second attempt")
+        assert target.read_text() == "second attempt"
+
+    def test_glob_targets_match(self, tmp_path):
+        install_plan(parse_fault_plan("torn@*.json"))
+        with pytest.raises(TornWriteError):
+            atomic_write_text(tmp_path / "anything.json", "x")
+        # budget spent; and non-matching names never tear
+        atomic_write_text(tmp_path / "other.txt", "fine")
+        assert (tmp_path / "other.txt").read_text() == "fine"

@@ -1,0 +1,112 @@
+"""The deterministic fault-injection plan language.
+
+Firing must be a pure function of ``(spec, sample, attempt)`` — that is
+what makes the chaos CI job replayable and flake-free.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    EXIT_STATUS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_plan,
+)
+
+
+class TestParse:
+    def test_single_spec(self):
+        plan = parse_fault_plan("raise@3")
+        assert plan.specs == (FaultSpec("raise", "3", 1),)
+
+    def test_times_suffix(self):
+        assert parse_fault_plan("raise@3x2").specs[0].times == 2
+
+    def test_star_means_every_attempt(self):
+        assert parse_fault_plan("raise@3x*").specs[0].times is None
+
+    def test_comma_separated_plan(self):
+        plan = parse_fault_plan("raise@1,hang@2,exit@3,torn@out.json")
+        assert [s.kind for s in plan.specs] == ["raise", "hang", "exit",
+                                                "torn"]
+
+    def test_torn_glob_with_x_in_name(self):
+        # the trailing x-parse must not eat file names containing 'x'
+        spec = parse_fault_plan("torn@matrix.json").specs[0]
+        assert spec.target == "matrix.json"
+        assert spec.times == 1
+
+    @pytest.mark.parametrize("bad", ["", "raise", "raise@", "boom@3",
+                                     "raise@notanumber", "hang@x3"])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(bad)
+
+    def test_describe_round_trips(self):
+        text = "raise@1,hang@2x3,exit@5x*,torn@out.json"
+        assert parse_fault_plan(text).describe() == text
+
+
+class TestFiring:
+    def test_fires_on_early_attempts_only(self):
+        spec = FaultSpec("raise", "0", times=2)
+        assert spec.fires_on(0) and spec.fires_on(1)
+        assert not spec.fires_on(2)
+
+    def test_star_fires_forever(self):
+        spec = FaultSpec("raise", "0", times=None)
+        assert all(spec.fires_on(attempt) for attempt in range(10))
+
+    def test_raise_fault_raises(self):
+        plan = parse_fault_plan("raise@4")
+        with pytest.raises(InjectedFault):
+            plan.maybe_fire_sample(4, attempt=0, in_worker=True)
+
+    def test_other_samples_untouched(self):
+        plan = parse_fault_plan("raise@4")
+        plan.maybe_fire_sample(3, attempt=0, in_worker=True)
+        plan.maybe_fire_sample(5, attempt=0, in_worker=True)
+
+    def test_retry_survives_transient_fault(self):
+        plan = parse_fault_plan("raise@4")
+        with pytest.raises(InjectedFault):
+            plan.maybe_fire_sample(4, attempt=0, in_worker=True)
+        plan.maybe_fire_sample(4, attempt=1, in_worker=True)  # no raise
+
+    def test_hang_and_exit_translate_to_raises_in_process(self):
+        # In-process execution (serial path, degraded mode) must never
+        # actually hang or kill the supervisor's own process.
+        for kind in ("hang", "exit"):
+            plan = parse_fault_plan(f"{kind}@2")
+            with pytest.raises(InjectedFault):
+                plan.maybe_fire_sample(2, attempt=0, in_worker=False)
+
+    def test_exit_status_is_distinctive(self):
+        assert EXIT_STATUS == 117
+
+
+class TestBinding:
+    def test_rand_target_is_deterministic_per_seed(self):
+        plan = parse_fault_plan("raise@rand")
+        bound_a = plan.bind(num_samples=50, root_seed=7)
+        bound_b = plan.bind(num_samples=50, root_seed=7)
+        assert bound_a == bound_b
+        index = int(bound_a.specs[0].target)
+        assert 0 <= index < 50
+
+    def test_rand_varies_with_seed(self):
+        plan = parse_fault_plan("raise@rand")
+        targets = {plan.bind(50, seed).specs[0].target
+                   for seed in range(20)}
+        assert len(targets) > 1
+
+    def test_bind_is_identity_without_rand(self):
+        plan = parse_fault_plan("raise@3,torn@out.json")
+        assert plan.bind(10, 1) is plan
+
+    def test_empty_plan_is_inert(self):
+        plan = FaultPlan()
+        plan.maybe_fire_sample(0, 0, in_worker=True)
+        assert plan.torn_write_fires("anything") is None

@@ -1,0 +1,156 @@
+"""Resume bit-identity: an interrupted campaign, resumed, equals the
+uninterrupted run byte for byte — records, telemetry, and CLI output.
+
+Interruption is simulated with a deterministic poison fault in an
+*unsupervised* checkpointed run: the fault aborts the campaign exactly
+like a Ctrl-C or an OOM kill would, after some chunks have been
+persisted. The resumed run restores those chunks and re-simulates only
+the missing samples.
+"""
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import CheckpointMismatchError
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.experiments.checkpoint import CheckpointStore, campaign_fingerprint
+from repro.experiments.runner import CampaignStats, SupervisionPolicy
+from repro.faults import InjectedFault, parse_fault_plan
+from repro.telemetry import Telemetry
+
+SEED = 4242
+SAMPLES = 12  # two serial chunks (8 + 4): the first persists, the second dies
+
+
+def _keys(records):
+    return [(r.ciphertext, r.total_time, r.total_accesses)
+            for r in records]
+
+
+def _ctx(**kwargs):
+    return ExperimentContext(root_seed=SEED, samples=SAMPLES, **kwargs)
+
+
+def _collect(ctx, counts_only=True):
+    return collect_records(ctx, make_policy("baseline", 1), SAMPLES,
+                           counts_only=counts_only)
+
+
+def _store(tmp_path, ctx, instrumented=False):
+    return CheckpointStore.open(
+        tmp_path / "run",
+        campaign_fingerprint("unit", ctx, instrumented=instrumented))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    _, records = _collect(_ctx())
+    return _keys(records)
+
+
+class TestResumeIdentity:
+    def test_serial_interrupt_then_resume_matches_golden(self, tmp_path,
+                                                         golden):
+        ctx = _ctx()
+        wounded = ctx.with_(checkpoint=_store(tmp_path, ctx),
+                            faults=parse_fault_plan("raise@9x*"))
+        with pytest.raises(InjectedFault):
+            _collect(wounded)  # dies on the second chunk
+        # first chunk (samples 0-7) must have been persisted
+        resumed_ctx = ctx.with_(checkpoint=_store(tmp_path, ctx),
+                                campaign=CampaignStats())
+        _, records = _collect(resumed_ctx)
+        assert _keys(records) == golden
+        assert resumed_ctx.campaign.resumed_samples == 8
+
+    def test_parallel_interrupt_then_parallel_resume(self, tmp_path,
+                                                     golden):
+        ctx = _ctx(jobs=2)
+        wounded = ctx.with_(checkpoint=_store(tmp_path, ctx),
+                            faults=parse_fault_plan("raise@9x*"))
+        with pytest.raises(InjectedFault):
+            _collect(wounded)
+        resumed_ctx = ctx.with_(checkpoint=_store(tmp_path, ctx))
+        _, records = _collect(resumed_ctx)
+        assert _keys(records) == golden
+
+    def test_serial_interrupt_then_parallel_resume(self, tmp_path, golden):
+        # jobs is deliberately outside the fingerprint: a campaign started
+        # serially may be finished with -j N, byte-identically.
+        ctx = _ctx()
+        wounded = ctx.with_(checkpoint=_store(tmp_path, ctx),
+                            faults=parse_fault_plan("raise@9x*"))
+        with pytest.raises(InjectedFault):
+            _collect(wounded)
+        resumed_ctx = _ctx(jobs=3).with_(checkpoint=_store(tmp_path, ctx))
+        _, records = _collect(resumed_ctx)
+        assert _keys(records) == golden
+
+    def test_completed_run_resumes_as_pure_replay(self, tmp_path, golden):
+        ctx = _ctx()
+        first = ctx.with_(checkpoint=_store(tmp_path, ctx))
+        _collect(first)
+        campaign = CampaignStats()
+        replay = ctx.with_(checkpoint=_store(tmp_path, ctx),
+                           campaign=campaign)
+        _, records = _collect(replay)
+        assert _keys(records) == golden
+        assert campaign.resumed_samples == SAMPLES
+
+
+class TestInstrumentedResume:
+    def test_metrics_and_trace_identical_after_resume(self, tmp_path):
+        baseline = Telemetry()
+        _collect(_ctx(telemetry=baseline), counts_only=False)
+
+        ctx = _ctx()
+        wounded = ctx.with_(telemetry=Telemetry(),
+                            checkpoint=_store(tmp_path, ctx,
+                                              instrumented=True),
+                            faults=parse_fault_plan("raise@9x*"))
+        with pytest.raises(InjectedFault):
+            _collect(wounded, counts_only=False)
+
+        resumed_telemetry = Telemetry()
+        resumed = ctx.with_(telemetry=resumed_telemetry,
+                            checkpoint=_store(tmp_path, ctx,
+                                              instrumented=True))
+        _collect(resumed, counts_only=False)
+        assert resumed_telemetry.metrics.snapshot() \
+            == baseline.metrics.snapshot()
+        assert [(e.name, e.cat, e.ts, e.dur)
+                for e in resumed_telemetry.tracer.events] \
+            == [(e.name, e.cat, e.ts, e.dur)
+                for e in baseline.tracer.events]
+        assert resumed_telemetry.tracer.time_base \
+            == baseline.tracer.time_base
+
+
+class TestPoolSupervision:
+    def test_worker_kill_is_retried_to_identical_records(self, golden):
+        # a real os._exit in a worker process: the pool breaks, the
+        # supervisor rebuilds it and retries, results stay bit-identical
+        campaign = CampaignStats()
+        ctx = _ctx(jobs=2,
+                   supervision=SupervisionPolicy(backoff_base=0.0),
+                   faults=parse_fault_plan("exit@5"),
+                   campaign=campaign)
+        _, records = _collect(ctx)
+        assert _keys(records) == golden
+        assert campaign.pool_restarts >= 1
+        assert not campaign.failed_samples
+
+
+class TestFingerprintGuard:
+    def test_resuming_under_different_seed_is_refused(self, tmp_path):
+        ctx = _ctx()
+        _store(tmp_path, ctx)
+        other = ExperimentContext(root_seed=SEED + 1, samples=SAMPLES)
+        with pytest.raises(CheckpointMismatchError):
+            _store(tmp_path, other)
+
+    def test_instrumented_flag_is_part_of_the_fingerprint(self, tmp_path):
+        ctx = _ctx()
+        _store(tmp_path, ctx, instrumented=False)
+        with pytest.raises(CheckpointMismatchError):
+            _store(tmp_path, ctx, instrumented=True)

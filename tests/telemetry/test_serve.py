@@ -206,3 +206,39 @@ class TestServeDuringRun:
         phase = snapshot["phases"]["baseline(M=1)"]
         assert phase["done"] == 4 and phase["total"] == 4
         assert phase["state"] == "done"
+
+
+class TestBindFailures:
+    def test_port_zero_binds_an_ephemeral_port(self):
+        with TelemetryServer(Telemetry(board=ProgressBoard()),
+                             port=0) as server:
+            assert server.port != 0
+            status, _, _ = _get(f"{server.url}/health")
+            assert status == 200
+
+    def test_port_in_use_is_one_actionable_error(self):
+        with TelemetryServer(Telemetry(board=ProgressBoard()),
+                             port=0) as server:
+            with pytest.raises(ConfigurationError) as excinfo:
+                TelemetryServer(Telemetry(board=ProgressBoard()),
+                                port=server.port)
+            message = str(excinfo.value)
+            assert f"127.0.0.1:{server.port}" in message
+            assert "port 0" in message  # the actionable part
+
+
+class TestIncidentSurfacing:
+    def test_incidents_flip_health_to_degraded(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0) as server:
+            _, _, body = _get(f"{server.url}/health")
+            assert json.loads(body)["status"] == "ok"
+            telemetry.board.incident("quarantined")
+            telemetry.board.incident("pool_restart", 2)
+            _, _, body = _get(f"{server.url}/health")
+            payload = json.loads(body)
+            assert payload["status"] == "degraded"
+            assert payload["incidents"] == {"quarantined": 1,
+                                            "pool_restart": 2}
+            _, _, body = _get(f"{server.url}/progress")
+            assert json.loads(body)["incidents"]["quarantined"] == 1

@@ -2,10 +2,7 @@
 
 import json
 
-import pytest
-
-from repro.cli import main
-from repro.errors import ConfigurationError
+from repro.cli import EXIT_CONFIG, main
 from repro.experiments.registry import EXPERIMENTS
 
 
@@ -27,9 +24,10 @@ class TestCli:
         assert "samples" in out
         assert "8" in out
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(ConfigurationError):
-            main(["fig99"])
+    def test_unknown_experiment_exits_with_config_code(self, capsys):
+        assert main(["fig99"]) == EXIT_CONFIG
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
 
 
 class TestTelemetryCommands:
