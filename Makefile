@@ -1,7 +1,7 @@
 # Convenience targets for the RCoal reproduction.
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
-        profile perf serve attribute check-metrics chaos clean
+        profile metrics perf serve attribute check-metrics chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -29,8 +29,13 @@ experiments:
 trace:
 	REPRO_FAST=1 rcoal trace fig05 --out trace.json
 
-# Print the telemetry metrics snapshot for a baseline run.
+# Deterministic cost-center profile (simulated cycles split across
+# engine stages + wall-clock span table); see docs/observability.md.
 profile:
+	REPRO_FAST=1 rcoal profile fig05
+
+# Print the telemetry metrics snapshot for a baseline run.
+metrics:
 	REPRO_FAST=1 rcoal metrics fig05
 
 # Time the simulator substrate and write the next BENCH_<n>.json;
@@ -51,6 +56,8 @@ attribute:
 # Gate the metrics snapshot against the committed baseline (what CI runs).
 check-metrics:
 	rcoal metrics fig05 --samples 4 --check BASELINE_METRICS.json
+	rcoal metrics fig07 --samples 4 --check BASELINE_METRICS.json
+	rcoal metrics fig13 --samples 4 --check BASELINE_METRICS.json
 
 # Fault-injection suite: supervision, checkpoint/resume, crash-safe
 # writes; see docs/robustness.md.

@@ -106,9 +106,16 @@ def _end(event: TraceEvent) -> float:
     return event.ts + (event.dur or 0)
 
 
+#: Above this many trace events ``attribute_rounds`` switches to the
+#: numpy-batched join (same result, vectorized); below it the plain-python
+#: reference path wins on constant factors.
+_BATCH_THRESHOLD = 100_000
+
+
 def attribute_rounds(
     tracer: Tracer,
     round_index: Optional[int] = None,
+    batched: Optional[bool] = None,
 ) -> List[RoundAttribution]:
     """Attribute every traced round window to its completion points.
 
@@ -119,6 +126,11 @@ def attribute_rounds(
     with its ``column_hit``/``column_miss`` DRAM record via the stable
     access ``uid``. Pass ``round_index`` to keep only one round (the
     attack's last round, typically).
+
+    ``batched`` forces the numpy gather-join (True) or the plain-python
+    reference path (False); by default large traces — Fig-18-scale
+    1024-line launches — batch automatically. Both paths produce equal
+    results (golden-tested in ``tests/analysis/test_attribution.py``).
     """
     if tracer.dropped:
         raise ConfigurationError(
@@ -126,7 +138,18 @@ def attribute_rounds(
             f"were evicted from the ring buffer; rerun with a larger "
             f"trace capacity"
         )
+    if batched is None:
+        batched = len(tracer) >= _BATCH_THRESHOLD
+    if batched:
+        return _attribute_rounds_batched(tracer, round_index)
+    return _attribute_rounds_python(tracer, round_index)
 
+
+def _attribute_rounds_python(
+    tracer: Tracer,
+    round_index: Optional[int] = None,
+) -> List[RoundAttribution]:
+    """Reference implementation: per-window python join + waterfall."""
     windows: List[RoundAttribution] = []
     # Completion points grouped by (warp, round); matched to windows by
     # time containment afterwards.
@@ -194,6 +217,196 @@ def attribute_rounds(
                 source=source, uid=uid, completion=done, cycles=cycles,
                 row_hit=row_hit, bank=bank, queue_wait=queue_wait,
             ))
+        if abs(window.attributed - window.duration) > 1e-9:
+            raise ConfigurationError(
+                f"attribution failed to reconcile for warp "
+                f"{window.warp_id} round {window.round_index}: "
+                f"attributed {window.attributed} of {window.duration} "
+                f"cycles (trace is missing completion events)"
+            )
+    windows.sort(key=lambda w: (w.start, w.warp_id))
+    return windows
+
+
+def _attribute_rounds_batched(
+    tracer: Tracer,
+    round_index: Optional[int] = None,
+) -> List[RoundAttribution]:
+    """Vectorized join + waterfall over uid/time-sorted int64 arrays.
+
+    The O(events) python join dominates ``rcoal attribute`` once a launch
+    has 1024 lines; this path does the window assignment, the waterfall,
+    and the DRAM-record gather with numpy searchsorted/lexsort over sorted
+    arrays instead of per-window scans. All timestamps are integer cycles,
+    so the arithmetic — and therefore the result — is exactly equal to the
+    reference path's.
+    """
+    import numpy as np
+
+    w_warp: List[int] = []
+    w_round: List[int] = []
+    w_start: List[int] = []
+    w_end: List[int] = []
+    p_warp: List[int] = []
+    p_round: List[int] = []
+    p_ts: List[int] = []
+    p_done: List[int] = []
+    p_is_access: List[int] = []
+    p_event: List[Optional[TraceEvent]] = []
+    dram: Dict[Tuple[float, int], TraceEvent] = {}
+
+    for event in tracer.events:
+        name = event.name
+        if name == "round":
+            rnd = event.args["round"]
+            if round_index is not None and rnd != round_index:
+                continue
+            w_warp.append(event.tid)
+            w_round.append(rnd)
+            w_start.append(event.ts)
+            w_end.append(_end(event))
+        elif name == "reply_xbar":
+            args = event.args
+            if args["round"] is None:
+                continue
+            p_warp.append(args["warp"])
+            p_round.append(args["round"])
+            p_ts.append(event.ts)
+            p_done.append(_end(event))
+            p_is_access.append(1)
+            p_event.append(event)
+        elif name == "compute":
+            rnd = event.args["round"]
+            if rnd is None:
+                continue
+            p_warp.append(event.tid)
+            p_round.append(rnd)
+            p_ts.append(event.ts)
+            p_done.append(_end(event))
+            p_is_access.append(0)
+            p_event.append(None)
+        elif name in ("column_hit", "column_miss"):
+            dram[(event.ts, event.args["uid"])] = event
+
+    windows = [
+        RoundAttribution(warp_id=w, round_index=r, start=s, end=e)
+        for w, r, s, e in zip(w_warp, w_round, w_start, w_end)
+    ]
+    if not windows or not p_ts:
+        for window in windows:
+            if window.duration != 0:
+                raise ConfigurationError(
+                    f"attribution failed to reconcile for warp "
+                    f"{window.warp_id} round {window.round_index}: "
+                    f"attributed 0 of {window.duration} cycles (trace is "
+                    f"missing completion events)"
+                )
+        windows.sort(key=lambda w: (w.start, w.warp_id))
+        return windows
+
+    # Dense ids for (warp, round) so a scalar composite key fits int64.
+    pairs = np.array(list(zip(w_warp + p_warp, w_round + p_round)),
+                     dtype=np.int64)
+    _, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.1 briefly made this (n, 1)
+    w_key = inverse[:len(windows)]
+    p_key = inverse[len(windows):]
+
+    w_start_a = np.asarray(w_start, dtype=np.int64)
+    w_end_a = np.asarray(w_end, dtype=np.int64)
+    p_ts_a = np.asarray(p_ts, dtype=np.int64)
+    p_done_a = np.asarray(p_done, dtype=np.int64)
+    p_acc_a = np.asarray(p_is_access, dtype=np.int64)
+
+    # Window assignment: same-key windows never overlap in time, so the
+    # window with the greatest start <= point.ts is the only candidate;
+    # find it with one searchsorted over a (key, start) composite.
+    scale = int(max(w_end_a.max(), p_done_a.max())) + 2
+    w_order = np.argsort(w_key * scale + w_start_a, kind="stable")
+    w_key_s = w_key[w_order]
+    w_start_s = w_start_a[w_order]
+    w_end_s = w_end_a[w_order]
+    pos = np.searchsorted(w_key_s * scale + w_start_s,
+                          p_key * scale + p_ts_a, side="right") - 1
+    pos_c = np.clip(pos, 0, len(windows) - 1)
+    valid = ((pos >= 0)
+             & (w_key_s[pos_c] == p_key)
+             & (p_ts_a >= w_start_s[pos_c])
+             & (p_done_a <= w_end_s[pos_c]))
+    widx = w_order[pos_c[valid]]  # original window index per valid point
+    v_done = p_done_a[valid]
+    v_acc = p_acc_a[valid]
+    v_indices = np.nonzero(valid)[0]
+
+    # Waterfall: sort (window, done, compute-before-access); done is then
+    # ascending within each window group, so the frontier before point i
+    # is max(window.start, done[i-1]) — the telescoping sum in one shift.
+    order = np.lexsort((v_acc, v_done, widx))
+    widx_s = widx[order]
+    done_s = v_done[order]
+    starts = np.empty(len(done_s), dtype=np.int64)
+    if len(done_s):
+        group_head = np.empty(len(done_s), dtype=bool)
+        group_head[0] = True
+        group_head[1:] = widx_s[1:] != widx_s[:-1]
+        prev_done = np.empty_like(done_s)
+        prev_done[1:] = done_s[:-1]
+        prev_done[group_head] = np.iinfo(np.int64).min
+        starts = w_start_a[widx_s]
+        frontier_before = np.maximum(starts, prev_done)
+        cycles = np.maximum(0, done_s - frontier_before)
+    else:
+        group_head = np.empty(0, dtype=bool)
+        cycles = done_s
+
+    # DRAM gather: first service record per uid with ts in the window.
+    d_uid_a = np.empty(0, dtype=np.int64)
+    d_events: List[TraceEvent] = []
+    if dram:
+        d_items = sorted((uid, ts) for (ts, uid) in dram)
+        d_uid_a = np.asarray([uid for uid, _ in d_items], dtype=np.int64)
+        d_ts_a = np.asarray([ts for _, ts in d_items], dtype=np.int64)
+        d_events = [dram[(ts, uid)] for uid, ts in d_items]
+        d_scale = int(max(d_ts_a.max(), w_end_a.max())) + 2
+        d_composite = d_uid_a * d_scale + d_ts_a
+
+    point_events = [p_event[i] for i in v_indices[order]]
+    uid_rows = [i for i, e in enumerate(point_events) if e is not None]
+    service_of: Dict[int, TraceEvent] = {}
+    if dram and uid_rows:
+        rows = np.asarray(uid_rows, dtype=np.int64)
+        uids = np.asarray([point_events[i].args["uid"] for i in uid_rows],
+                          dtype=np.int64)
+        lo = w_start_a[widx_s[rows]]
+        hi = w_end_a[widx_s[rows]]
+        dpos = np.searchsorted(d_composite, uids * d_scale + lo,
+                               side="left")
+        dpos_c = np.clip(dpos, 0, len(d_events) - 1)
+        found = ((dpos < len(d_events))
+                 & (d_uid_a[dpos_c] == uids)
+                 & (d_ts_a[dpos_c] <= hi))
+        for row, ok, di in zip(uid_rows, found, dpos_c):
+            if ok:
+                service_of[row] = d_events[di]
+
+    # Materialize, preserving the reference path's per-window point order.
+    for i in range(len(done_s)):
+        window = windows[widx_s[i]]
+        event = point_events[i]
+        uid = event.args["uid"] if event is not None else None
+        service = service_of.get(i)
+        row_hit = bank = queue_wait = None
+        if service is not None:
+            row_hit = service.name == "column_hit"
+            bank = service.args["bank"]
+            queue_wait = service.args["queue_wait"]
+        window.contributions.append(AccessContribution(
+            source="access" if event is not None else "compute",
+            uid=uid, completion=int(done_s[i]),
+            cycles=float(cycles[i]), row_hit=row_hit, bank=bank,
+            queue_wait=queue_wait,
+        ))
+    for window in windows:
         if abs(window.attributed - window.duration) > 1e-9:
             raise ConfigurationError(
                 f"attribution failed to reconcile for warp "

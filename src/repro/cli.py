@@ -16,6 +16,8 @@ Observability subcommands (see ``docs/observability.md``)::
     rcoal metrics fig05 --check BASELINE_METRICS.json   # regression gate
     rcoal serve fig07 --port 8000 -j 2    # live dashboard while running
     rcoal fig07 --serve 8000              # same, riding on a normal run
+    rcoal profile fig05                   # sim-cycle cost centers + wall spans
+    rcoal fig07 -j 4 --profile            # wall-clock span table on stderr
 
 Benchmarks (see ``docs/performance.md``)::
 
@@ -89,6 +91,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "(-v info, -vv debug)")
     parser.add_argument("--progress", action="store_true",
                         help="per-sample ETA reporting on stderr")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect wall-clock span profiling for the "
+                             "run and print the span table on stderr; "
+                             "stdout stays bit-identical (see 'rcoal "
+                             "profile' for the sim-cycle cost-center "
+                             "profiler)")
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -170,6 +178,15 @@ def _finish_campaign(campaign) -> int:
                   f"({entry['phase']}): {entry['error']}", file=sys.stderr)
         return EXIT_QUARANTINE
     return EXIT_OK
+
+
+def _emit_profile_summary(telemetry) -> None:
+    """Wall-clock span table on stderr (stdout stays diff-clean)."""
+    if telemetry is None or not telemetry.profiler.enabled \
+            or len(telemetry.profiler) == 0:
+        return
+    print("== wall-clock profile ==", file=sys.stderr)
+    print(telemetry.profiler.render_table(), file=sys.stderr)
 
 
 def _add_serve_argument(parser: argparse.ArgumentParser) -> None:
@@ -276,10 +293,11 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     if args.serve:
         from repro.telemetry import ProgressBoard
         telemetry = Telemetry(trace_capacity=capacity,
-                              board=ProgressBoard())
+                              board=ProgressBoard(), profile=args.profile)
         server = _start_server(args.serve, telemetry)
     else:
-        telemetry = Telemetry(trace_capacity=capacity)
+        telemetry = Telemetry(trace_capacity=capacity,
+                              profile=args.profile)
         server = None
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
@@ -295,6 +313,7 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     finally:
         if server is not None:
             server.stop()
+        _emit_profile_summary(telemetry)
     print(result.render())
     # Timing goes to stderr: stdout stays bit-identical across runs and
     # across -j settings, so outputs can be diffed directly (CI does).
@@ -383,7 +402,7 @@ def _run_serve_command(argv: List[str]) -> int:
     from repro.telemetry import ProgressBoard
 
     telemetry = Telemetry(trace_capacity=args.capacity,
-                          board=ProgressBoard())
+                          board=ProgressBoard(), profile=args.profile)
     server = _start_server(args.port, telemetry)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
@@ -398,6 +417,7 @@ def _run_serve_command(argv: List[str]) -> int:
         print(result.render())
         print(f"[{args.experiment} completed in "
               f"{time.time() - start:.1f}s]", file=sys.stderr)
+        _emit_profile_summary(telemetry)
         if args.linger:
             print(f"[run complete; dashboard still live at {server.url} "
                   f"— Ctrl-C to exit]", file=sys.stderr)
@@ -408,6 +428,149 @@ def _run_serve_command(argv: List[str]) -> int:
                 pass
     finally:
         server.stop()
+    return _finish_campaign(ctx.campaign)
+
+
+def _build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal profile",
+        description="Run one experiment under the two-axis profiler: "
+                    "deterministic sim-cycle cost centers (which engine "
+                    "stage the simulated cycles went to, reconciled "
+                    "exactly against the round-window attribution) plus "
+                    "wall-clock runner spans (where the host time went). "
+                    "Exports flamegraph stacks, a combined Chrome trace, "
+                    "and a drift-gated JSON report "
+                    "(see docs/observability.md).",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig05, fig07)")
+    _add_common_arguments(parser)
+    _add_resilience_arguments(parser)
+    parser.add_argument("--capacity", type=int, default=2_000_000,
+                        help="trace ring-buffer capacity in events "
+                             "(default 2000000; the cost-center join "
+                             "needs the full trace, eviction aborts it)")
+    parser.add_argument("--round", type=int, default=None,
+                        help="restrict cost centers to one AES round "
+                             "index (default: all rounds)")
+    parser.add_argument("--top", type=int, default=None,
+                        help="show only the N largest cost centers")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the full profile report (sim + wall "
+                             "axes) as stable JSON")
+    parser.add_argument("--flamegraph", metavar="PATH", default=None,
+                        help="write cost centers as collapsed stacks for "
+                             "flamegraph.pl / speedscope")
+    parser.add_argument("--chrome", metavar="PATH", default=None,
+                        help="write a Chrome trace with the simulated "
+                             "lanes plus a wall-clock process")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare the (deterministic) cost-center "
+                             "section against a committed baseline; "
+                             "exit 1 on drift")
+    parser.add_argument("--write-baseline", metavar="BASELINE",
+                        dest="write_baseline", default=None,
+                        help="record/refresh this experiment's cost-center "
+                             "entry in a profile baseline file (keep it "
+                             "separate from the metrics baseline)")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="relative tolerance for --check (default "
+                             "0.0: exact — cost centers are a pure "
+                             "function of the deterministic trace)")
+    return parser
+
+
+def _run_profile_command(argv: List[str]) -> int:
+    args = _build_profile_parser().parse_args(argv)
+    configure_logging(args.verbose)
+
+    telemetry = Telemetry(trace_capacity=args.capacity, profile=True)
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
+                            telemetry=telemetry, progress=args.progress,
+                            jobs=args.jobs, **_resilience_fields(args))
+    if args.resume:
+        ctx = ctx.with_(checkpoint=_open_store(
+            args.resume, args.experiment, ctx, multiple=False,
+            instrumented=True))
+
+    start = time.time()
+    result = run_experiment(args.experiment, ctx)
+    print(result.render())
+    print(f"[{args.experiment} completed in {time.time() - start:.1f}s]",
+          file=sys.stderr)
+    print()
+
+    from repro.analysis.attribution import attribute_rounds
+    from repro.analysis.costcenters import (
+        collapsed_stacks,
+        cost_centers,
+        render_cost_table,
+    )
+    tracer = telemetry.tracer
+    if len(tracer) == 0:
+        print("warning: no trace events recorded (counts-only "
+              "experiments skip the timing simulator); the sim-cycle "
+              "profile is empty", file=sys.stderr)
+    attributions = attribute_rounds(tracer, round_index=args.round)
+    report = cost_centers(tracer, attributions=attributions)
+
+    scope = f"round {args.round}" if args.round is not None else "all rounds"
+    print(f"== {args.experiment}: sim-cycle cost centers ({scope}) ==")
+    print(render_cost_table(report, top=args.top))
+    print(f"[{report.windows} round windows, "
+          f"{report.total_window_cycles:.0f} window cycles; cost centers "
+          f"reconcile exactly with 'rcoal attribute']")
+    print()
+    print(f"== {args.experiment}: wall-clock spans ==")
+    print(telemetry.profiler.render_table())
+
+    if args.flamegraph:
+        from repro.utils import atomic_write_text
+        atomic_write_text(args.flamegraph, collapsed_stacks(report))
+        print(f"[flamegraph stacks written to {args.flamegraph}; render "
+              f"with flamegraph.pl or speedscope]")
+    if args.chrome:
+        from repro.utils import atomic_write_json
+        trace = tracer.chrome_trace()
+        trace["traceEvents"].extend(telemetry.profiler.to_chrome_events())
+        atomic_write_json(args.chrome, trace)
+        print(f"[chrome trace (sim + wall lanes) written to {args.chrome}]")
+
+    sim_section = report.to_dict()
+    context = dict(_baseline_context(args), round=args.round)
+    if args.out:
+        from repro.telemetry.metrics import stable_json
+        from repro.utils import atomic_write_text
+        payload = {
+            "format": 1,
+            "experiment": args.experiment,
+            "context": context,
+            "sim": sim_section,
+            "wall": telemetry.profiler.snapshot(),
+        }
+        atomic_write_text(args.out, stable_json(payload) + "\n")
+        print(f"[profile report written to {args.out}]")
+    if args.write_baseline:
+        from repro.telemetry.baseline import update_baseline
+        path = update_baseline(args.write_baseline, args.experiment,
+                               context, sim_section)
+        print(f"[profile baseline written to {path}]")
+    if args.check:
+        from repro.telemetry.baseline import check_against_baseline
+        drifts = check_against_baseline(args.check, args.experiment,
+                                        context, sim_section,
+                                        tolerance=args.tolerance)
+        if drifts:
+            print(f"cost-center drift vs {args.check} "
+                  f"({len(drifts)} difference(s)):", file=sys.stderr)
+            for drift in drifts[:50]:
+                print(f"  {drift}", file=sys.stderr)
+            if len(drifts) > 50:
+                print(f"  ... and {len(drifts) - 50} more",
+                      file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"[cost centers match baseline {args.check}]")
     return _finish_campaign(ctx.campaign)
 
 
@@ -432,6 +595,10 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="report path (default: next free "
                              "BENCH_<n>.json in the CWD)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the fig07 harness workloads with span "
+                             "profiling enabled (recorded in the report's "
+                             "config block; default off for comparability)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="enable repro.* logging on stderr")
     return parser
@@ -443,7 +610,8 @@ def _run_bench_command(argv: List[str]) -> int:
     from repro.experiments.bench import render_report, run_bench, write_bench
     jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
     report = run_bench(jobs=jobs, samples=args.samples, lines=args.lines,
-                       repeat=args.repeat, seed=args.seed)
+                       repeat=args.repeat, seed=args.seed,
+                       profile=args.profile)
     print(render_report(report))
     print(f"[bench report written to {write_bench(report, args.out)}]")
     return 0
@@ -471,6 +639,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _run_telemetry_command(argv[0], argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve_command(argv[1:])
+    if argv and argv[0] == "profile":
+        return _run_profile_command(argv[1:])
     if argv and argv[0] == "bench":
         return _run_bench_command(argv[1:])
 
@@ -487,8 +657,10 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     telemetry = server = None
     if args.serve:
         from repro.telemetry import ProgressBoard
-        telemetry = Telemetry(board=ProgressBoard())
+        telemetry = Telemetry(board=ProgressBoard(), profile=args.profile)
         server = _start_server(args.serve, telemetry)
+    elif args.profile:
+        telemetry = Telemetry(profile=True)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, **_resilience_fields(args))
@@ -560,6 +732,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     finally:
         if server is not None:
             server.stop()
+        _emit_profile_summary(telemetry)
 
 
 if __name__ == "__main__":  # pragma: no cover

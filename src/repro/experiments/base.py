@@ -27,7 +27,12 @@ from repro.core.policies import CoalescingPolicy, make_policy
 from repro.experiments.reporting import format_table
 from repro.gpu.config import GPUConfig
 from repro.rng import RngStream
-from repro.telemetry import ProgressReporter, Telemetry, get_logger
+from repro.telemetry import (
+    ProgressReporter,
+    SpanProfiler,
+    Telemetry,
+    get_logger,
+)
 from repro.utils import env_flag, scaled_samples
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
@@ -197,8 +202,11 @@ def collect_records(
             counts_only=counts_only,
             retain_kernel_results=retain_kernel_results,
         )
-    plaintexts = random_plaintexts(num_samples, ctx.lines,
-                                   ctx.stream("workload"))
+    profiler = (ctx.telemetry.profiler if ctx.telemetry is not None
+                and ctx.telemetry.enabled else SpanProfiler.disabled())
+    with profiler.span("serial.workload"):
+        plaintexts = random_plaintexts(num_samples, ctx.lines,
+                                       ctx.stream("workload"))
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=ctx.telemetry)
@@ -211,11 +219,12 @@ def collect_records(
     )
     stream_name = victim_stream_name(policy)
     records = []
-    for index, plaintext in enumerate(plaintexts):
-        records.append(server.encrypt(
-            plaintext, rng=ctx.sample_stream(stream_name, index)
-        ))
-        reporter.update()
+    with profiler.span("serial.simulate"):
+        for index, plaintext in enumerate(plaintexts):
+            records.append(server.encrypt(
+                plaintext, rng=ctx.sample_stream(stream_name, index)
+            ))
+            reporter.update()
     reporter.finish()
     return server, records
 

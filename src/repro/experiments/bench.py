@@ -1,6 +1,6 @@
 """Repeatable performance benchmarks for the simulator substrate.
 
-``rcoal bench`` times three representative workloads and writes the
+``rcoal bench`` times four representative workloads and writes the
 numbers to a committed ``BENCH_<n>.json`` so every PR leaves a perf
 trajectory to regress against:
 
@@ -8,6 +8,9 @@ trajectory to regress against:
   dominant cost of every figure): paper-shaped 32-line launches under
   ``rss_rts``, reported as ms/launch and simulated cycles per wall
   second (the ROADMAP's ``sim.cycles / wall-second`` metric);
+* ``profiler_overhead`` — the same launches rerun with telemetry and
+  span profiling enabled, so the observer-effect cost is on record
+  (an unflagged run pays none of it: no telemetry object exists);
 * ``counts_sweep`` — the combinatorial counts-only fast path at Fig
   18 scale (wide plaintexts, no timing engine), reported as ms/sample;
 * ``fig07`` — one complete experiment harness end-to-end (collection
@@ -71,7 +74,8 @@ def _best_of(fn: Callable[[], object], repeat: int) -> Tuple[float, object]:
 
 
 def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
-              repeat: int = 1, seed: int = 2018) -> Dict[str, object]:
+              repeat: int = 1, seed: int = 2018,
+              profile: bool = False) -> Dict[str, object]:
     """Time the benchmark workloads; returns the report as a dict."""
     report: Dict[str, object] = {
         "schema": 1,
@@ -81,8 +85,16 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
             "cpus": os.cpu_count(),
             "machine": platform.machine(),
         },
+        # Everything a fair report-to-report comparison depends on: the
+        # sizing knobs, whether the fig07 harness ran instrumented, and
+        # the sample-scaling environment the host had set.
         "config": {"jobs": jobs, "samples": samples, "lines": lines,
-                   "repeat": repeat, "seed": seed},
+                   "repeat": repeat, "seed": seed, "profile": profile,
+                   "env": {
+                       "repro_fast": os.environ.get("REPRO_FAST") or None,
+                       "repro_samples":
+                           os.environ.get("REPRO_SAMPLES") or None,
+                   }},
         "workloads": {},
     }
     workloads: Dict[str, Dict[str, object]] = report["workloads"]
@@ -105,6 +117,30 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
         "sim_cycles_per_second": round(simulated_cycles / seconds),
     }
 
+    # -- profiler observer-effect overhead -------------------------------
+    # The same launches with full telemetry + span profiling on, so every
+    # report records what observation costs (and CI can flag growth). The
+    # profiling-OFF number is timing_kernel's: an unflagged run has no
+    # telemetry object at all, which is the default every figure uses.
+    from repro.telemetry import Telemetry
+
+    def _profiled_kernel():
+        pctx = ExperimentContext(root_seed=seed, samples=TIMING_LAUNCHES,
+                                 telemetry=Telemetry(profile=True))
+        return collect_records(pctx, policy, TIMING_LAUNCHES)
+
+    log.info("bench: profiler_overhead (%d launches)", TIMING_LAUNCHES)
+    on_seconds, _ = _best_of(_profiled_kernel, repeat)
+    workloads["profiler_overhead"] = {
+        "description": "timing_kernel rerun with telemetry + span "
+                       "profiling enabled (observer-effect cost; results "
+                       "stay bit-identical)",
+        "launches": TIMING_LAUNCHES,
+        "seconds": round(on_seconds, 4),
+        "seconds_off": round(seconds, 4),
+        "overhead_ratio": round(on_seconds / seconds, 2),
+    }
+
     # -- counts-only fast path (Fig 18 scale) ----------------------------
     ctx = ExperimentContext(root_seed=seed, samples=COUNTS_SAMPLES,
                             lines=lines)
@@ -124,7 +160,9 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
 
     # -- one full experiment harness -------------------------------------
     from repro.experiments.registry import run_experiment
-    serial_ctx = ExperimentContext(root_seed=seed, samples=samples)
+    serial_ctx = ExperimentContext(
+        root_seed=seed, samples=samples,
+        telemetry=Telemetry(profile=True) if profile else None)
     log.info("bench: fig07 (samples=%d, serial)", samples)
     serial_seconds, _ = _best_of(
         lambda: run_experiment("fig07", serial_ctx), repeat
@@ -166,7 +204,8 @@ def render_report(report: Dict[str, object]) -> str:
     for name, data in report["workloads"].items():
         parts = [f"{name}: {data['seconds']}s"]
         for key in ("ms_per_launch", "ms_per_sample",
-                    "sim_cycles_per_second", "speedup_vs_serial"):
+                    "sim_cycles_per_second", "speedup_vs_serial",
+                    "overhead_ratio"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  ".join(parts))

@@ -60,6 +60,7 @@ from repro.telemetry import (
     ProgressAggregator,
     ProgressReporter,
     QueueProgress,
+    SpanProfiler,
     Telemetry,
     get_logger,
 )
@@ -240,18 +241,19 @@ def _collect_chunk(payload) -> Tuple[List[EncryptionRecord],
                                      Optional[Telemetry]]:
     """Worker: simulate one contiguous chunk of a sample batch."""
     (ctx, policy, num_samples, indices, counts_only,
-     retain_kernel_results, trace_capacity) = payload
+     retain_kernel_results, trace_capacity, profile) = payload
     progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
     return _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
                            retain_kernel_results, trace_capacity,
                            faults=None, attempt=0, progress=progress,
-                           in_worker=True)
+                           in_worker=True, profile=profile)
 
 
 def _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
                     retain_kernel_results, trace_capacity, faults, attempt,
-                    progress, in_worker) -> Tuple[List[EncryptionRecord],
-                                                  Optional[Telemetry]]:
+                    progress, in_worker,
+                    profile=False) -> Tuple[List[EncryptionRecord],
+                                            Optional[Telemetry]]:
     """Simulate one contiguous span of samples into a private telemetry.
 
     Shared by the plain pool worker, the supervised pool worker, and the
@@ -259,26 +261,36 @@ def _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
     mergeable telemetry. Fault checks run *before* a sample simulates:
     a retried chunk re-simulates from scratch, so partial work from a
     failed attempt never leaks into the results.
+
+    ``profile`` turns on wall-clock span recording in the chunk's private
+    telemetry; the spans ride back to the parent through the normal
+    telemetry merge. The simulated work itself is unaffected.
     """
-    telemetry = (Telemetry(trace_capacity=trace_capacity)
+    telemetry = (Telemetry(trace_capacity=trace_capacity, profile=profile)
                  if trace_capacity else None)
+    profiler = (telemetry.profiler if telemetry is not None
+                else SpanProfiler.disabled())
     # Regenerating the full batch keeps workers seed-identical to serial;
     # plaintext generation is bulk RNG draws, a rounding error next to one
     # kernel simulation.
-    plaintexts = random_plaintexts(num_samples, ctx.lines,
-                                   ctx.stream("workload"))
+    with profiler.span("chunk.workload"):
+        plaintexts = random_plaintexts(num_samples, ctx.lines,
+                                       ctx.stream("workload"))
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=telemetry)
     stream_name = victim_stream_name(policy)
     records = []
-    for index in indices:
-        if faults is not None:
-            faults.maybe_fire_sample(index, attempt, in_worker=in_worker)
-        records.append(server.encrypt(
-            plaintexts[index], rng=ctx.sample_stream(stream_name, index)
-        ))
-        progress.update()
+    with profiler.span("chunk.simulate"):
+        for index in indices:
+            if faults is not None:
+                faults.maybe_fire_sample(index, attempt,
+                                         in_worker=in_worker)
+            records.append(server.encrypt(
+                plaintexts[index],
+                rng=ctx.sample_stream(stream_name, index)
+            ))
+            progress.update()
     return records, telemetry
 
 
@@ -287,12 +299,13 @@ def _collect_chunk_supervised(payload) -> Tuple[List[EncryptionRecord],
     """Worker: supervised variant of :func:`_collect_chunk` — carries the
     fault plan and the supervisor-assigned attempt number."""
     (ctx, policy, num_samples, indices, counts_only, retain_kernel_results,
-     trace_capacity, faults, attempt) = payload
+     trace_capacity, faults, attempt, profile) = payload
     progress = QueueProgress(_WORKER_PROGRESS_QUEUE)
     return _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
                            retain_kernel_results, trace_capacity,
                            faults=faults, attempt=attempt,
-                           progress=progress, in_worker=True)
+                           progress=progress, in_worker=True,
+                           profile=profile)
 
 
 def collect_records_parallel(
@@ -318,6 +331,8 @@ def collect_records_parallel(
     telemetry = ctx.telemetry
     instrumented = telemetry is not None and telemetry.enabled
     trace_capacity = telemetry.tracer.capacity if instrumented else 0
+    profiler = (telemetry.profiler if instrumented
+                else SpanProfiler.disabled())
     worker_ctx = _worker_context(ctx)
 
     progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
@@ -338,21 +353,27 @@ def collect_records_parallel(
         num_samples, queue, label=policy.describe(),
         enabled=progress_enabled, board=board,
     ):
-        futures = [
-            pool.submit(_collect_chunk,
-                        (worker_ctx, policy, num_samples, list(chunk),
-                         counts_only, retain_kernel_results,
-                         trace_capacity))
-            for chunk in chunks
-        ]
+        # "runner.submit" is payload pickling + task hand-off; the first
+        # "runner.wait" additionally covers pool spin-up (worker spawn +
+        # imports), which is why it dwarfs later waits on short runs.
+        with profiler.span("runner.submit"):
+            futures = [
+                pool.submit(_collect_chunk,
+                            (worker_ctx, policy, num_samples, list(chunk),
+                             counts_only, retain_kernel_results,
+                             trace_capacity, profiler.enabled))
+                for chunk in chunks
+            ]
         # Collect in submission (= sample) order; merge telemetry the
         # same way so the stitched result equals a serial run's.
         try:
             for future in futures:
-                chunk_records, chunk_telemetry = future.result()
+                with profiler.span("runner.wait"):
+                    chunk_records, chunk_telemetry = future.result()
                 records.extend(chunk_records)
                 if instrumented:
-                    telemetry.merge(chunk_telemetry)
+                    with profiler.span("runner.merge"):
+                        telemetry.merge(chunk_telemetry)
         except KeyboardInterrupt:
             _abort_pool(pool, futures)
             print(f"\n[interrupted: {len(records)}/{num_samples} samples "
@@ -468,7 +489,7 @@ class _PhaseSupervisor:
 def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
                        worker_ctx, policy, num_samples, counts_only,
                        retain_kernel_results, trace_capacity, faults,
-                       reporter) -> None:
+                       reporter, profile: bool = False) -> None:
     """In-process work loop: the serial resilient path, also the
     degraded-mode fallback when the pool keeps dying."""
     while pending:
@@ -477,7 +498,7 @@ def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
             records, telemetry = _simulate_chunk(
                 worker_ctx, policy, num_samples, indices, counts_only,
                 retain_kernel_results, trace_capacity, faults, attempt,
-                reporter, in_worker=False)
+                reporter, in_worker=False, profile=profile)
         except KeyboardInterrupt:
             raise
         except Exception as exc:
@@ -494,7 +515,8 @@ def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
 def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                      worker_ctx, policy, num_samples, counts_only,
                      retain_kernel_results, trace_capacity, faults,
-                     jobs: int, queue, reporter) -> None:
+                     jobs: int, queue, reporter,
+                     profiler: Optional[SpanProfiler] = None) -> None:
     """Pool work loop with deadlines, retries, and pool resurrection.
 
     Work items are submitted in rounds (everything currently pending);
@@ -510,6 +532,7 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
     sup = supervisor.sup
     campaign = supervisor.campaign
     deadline = sup.chunk_deadline if supervisor.supervised else None
+    profiler = profiler if profiler is not None else SpanProfiler.disabled()
     pool: Optional[ProcessPoolExecutor] = None
     restarts = 0
     try:
@@ -526,7 +549,8 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                 _run_chunks_serial(supervisor, pending, worker_ctx, policy,
                                    num_samples, counts_only,
                                    retain_kernel_results, trace_capacity,
-                                   faults, reporter)
+                                   faults, reporter,
+                                   profile=profiler.enabled)
                 return
             if pool is None:
                 pool = ProcessPoolExecutor(max_workers=jobs,
@@ -534,14 +558,16 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                                            initargs=(queue,))
             round_items = list(pending)
             pending.clear()
-            futures = [
-                (pool.submit(_collect_chunk_supervised,
-                             (worker_ctx, policy, num_samples,
-                              list(indices), counts_only,
-                              retain_kernel_results, trace_capacity,
-                              faults, attempt)), indices, attempt)
-                for indices, attempt in round_items
-            ]
+            with profiler.span("runner.submit"):
+                futures = [
+                    (pool.submit(_collect_chunk_supervised,
+                                 (worker_ctx, policy, num_samples,
+                                  list(indices), counts_only,
+                                  retain_kernel_results, trace_capacity,
+                                  faults, attempt, profiler.enabled)),
+                     indices, attempt)
+                    for indices, attempt in round_items
+                ]
             pool_dead = False
             max_delay = 0.0
             for future, indices, attempt in futures:
@@ -567,7 +593,8 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                         pending.append((indices, attempt + 1))
                     continue
                 try:
-                    records, telemetry = future.result(timeout=deadline)
+                    with profiler.span("runner.wait"):
+                        records, telemetry = future.result(timeout=deadline)
                     supervisor.complete(indices, records, telemetry)
                 except FuturesTimeoutError:
                     campaign.timeouts += 1
@@ -656,11 +683,14 @@ def collect_records_resilient(
     instrumented = telemetry is not None and telemetry.enabled
     trace_capacity = telemetry.tracer.capacity if instrumented else 0
     board = telemetry.board if instrumented else None
+    profiler = (telemetry.profiler if instrumented
+                else SpanProfiler.disabled())
     worker_ctx = _worker_context(ctx)
     label = _phase_label(ctx, policy, num_samples, counts_only,
                          retain_kernel_results)
 
-    stored = store.load_chunks(label) if store is not None else []
+    with profiler.span("checkpoint.load"):
+        stored = store.load_chunks(label) if store is not None else []
     completed = {index for chunk in stored for index in chunk.indices}
     missing = [i for i in range(num_samples) if i not in completed]
     if stored:
@@ -669,8 +699,13 @@ def collect_records_resilient(
               f"samples of {policy.describe()} restored from "
               f"{store.describe()}]", file=sys.stderr)
 
-    save = (lambda chunk: store.save_chunk(label, chunk)) \
-        if store is not None else (lambda chunk: None)
+    if store is not None:
+        def save(chunk):
+            with profiler.span("checkpoint.save"):
+                store.save_chunk(label, chunk)
+    else:
+        def save(chunk):
+            return None
     supervisor = _PhaseSupervisor(sup, campaign, board, label, save)
     for chunk in stored:
         supervisor.results[chunk.start] = chunk
@@ -704,7 +739,8 @@ def collect_records_resilient(
                                      policy, num_samples, counts_only,
                                      retain_kernel_results, trace_capacity,
                                      faults, jobs, queue,
-                                     aggregator.reporter)
+                                     aggregator.reporter,
+                                     profiler=profiler)
             else:
                 reporter = ProgressReporter(
                     num_samples, label=policy.describe(),
@@ -714,7 +750,8 @@ def collect_records_resilient(
                 _run_chunks_serial(supervisor, pending, worker_ctx, policy,
                                    num_samples, counts_only,
                                    retain_kernel_results, trace_capacity,
-                                   faults, reporter)
+                                   faults, reporter,
+                                   profile=profiler.enabled)
                 reporter.finish()
         except KeyboardInterrupt:
             done = sum(len(chunk.indices)
@@ -739,7 +776,8 @@ def collect_records_resilient(
         chunk = supervisor.results[start]
         records.extend(chunk.records)
         if instrumented:
-            telemetry.merge(chunk.telemetry)
+            with profiler.span("runner.merge"):
+                telemetry.merge(chunk.telemetry)
 
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,

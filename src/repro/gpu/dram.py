@@ -215,6 +215,12 @@ class MemoryController:
                             else "dram.reads").inc()
             metrics.counter("dram.bus_busy_cycles").inc(timing.t_burst)
             metrics.histogram("dram.queue_wait_cycles").observe(queue_wait)
+            # Cost-center cycle totals: column/burst service after CAS, and
+            # the precharge+activate overhead a row miss pays before it.
+            metrics.counter("dram.service_cycles").inc(completion - cas_issue)
+            if activate is not None:
+                metrics.counter("dram.activate_cycles").inc(
+                    cas_issue - precharge)
             tracer = self._telemetry.tracer
             base = tracer.time_base
             args = {"bank": decoded.bank, "row": row,

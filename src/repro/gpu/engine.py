@@ -149,6 +149,15 @@ class GPUSimulator:
         tracer = telemetry.tracer if telemetry.enabled else None
         trace_base = tracer.time_base if tracer is not None else 0
         tele_arg = telemetry if telemetry.enabled else None
+        # Cost-center counters, bound once per launch (None when off so the
+        # hot path pays a single identity check, like ``tracer``).
+        if telemetry.enabled:
+            ctr_serialize = telemetry.metrics.counter(
+                "coalescer.serialize_cycles")
+            ctr_ldst_wait = telemetry.metrics.counter(
+                "coalescer.ldst_wait_cycles")
+        else:
+            ctr_serialize = ctr_ldst_wait = None
         partitions = [
             MemoryPartition(p, config, self.address_map, telemetry=tele_arg)
             for p in range(config.num_partitions)
@@ -354,6 +363,11 @@ class GPUSimulator:
                           "accesses": num_blocks,
                           "subwarps": len(groups)},
                 )
+                # Egress serialization (one LD/ST slot per coalesced block)
+                # vs waiting behind an earlier instruction's egress.
+                ctr_serialize.inc(num_blocks * per_access)
+                ctr_ldst_wait.inc(sm.ldst_free - num_blocks * per_access
+                                  - issue - issue_cycles)
 
             if is_write:
                 # Stores retire at LD/ST egress; the warp does not wait.
@@ -460,6 +474,8 @@ class GPUSimulator:
             metrics.counter("sim.kernels").inc()
             metrics.counter("sim.warps").inc(len(warps))
             metrics.counter("sim.cycles").inc(result.total_cycles)
+            metrics.counter("sched.stall_cycles").inc(
+                sum(sm.schedulers.total_stall_cycles for sm in sms))
             round_hist = metrics.histogram("warp.round_cycles")
             for (warp_id, round_index), window in \
                     sorted(result.round_windows.items()):

@@ -69,6 +69,10 @@ class Crossbar:
             metrics.counter(f"icnt.{self.name}.stall_cycles").inc(
                 accept - inject_cycle
             )
+            # Wire + serialization occupancy per packet (cost-center total).
+            metrics.counter(f"icnt.{self.name}.transit_cycles").inc(
+                self.latency + flits - 1
+            )
         if flits > 1:
             state.next_free = accept + flits
         elif state.accepted % self._rate == 0:

@@ -18,7 +18,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.dram import MemoryController
 from repro.gpu.mshr import MSHRFile
 from repro.gpu.request import MemoryAccess
-from repro.telemetry import Telemetry
+from repro.telemetry import PID_DRAM, Telemetry
 
 __all__ = ["ArrivalResult", "MemoryPartition"]
 
@@ -69,6 +69,14 @@ class MemoryPartition:
                 if self._telemetry.enabled:
                     self._telemetry.metrics.counter(
                         "partition.l2_hits").inc()
+                    # uid-stamped so the cost-center profiler can classify
+                    # the access's service segment as an L2 hit.
+                    tracer = self._telemetry.tracer
+                    tracer.instant("l2_hit", "partition",
+                                   tracer.time_base + cycle, pid=PID_DRAM,
+                                   tid=self.partition_id,
+                                   args={"uid": access.uid,
+                                         "warp": access.warp_id})
                 return ArrivalResult(immediate=[(access, completion)],
                                      queued=False)
 
@@ -79,6 +87,12 @@ class MemoryPartition:
                 if self._telemetry.enabled:
                     self._telemetry.metrics.counter(
                         "partition.mshr_merges").inc()
+                    tracer = self._telemetry.tracer
+                    tracer.instant("mshr_merge", "partition",
+                                   tracer.time_base + cycle, pid=PID_DRAM,
+                                   tid=self.partition_id,
+                                   args={"uid": access.uid,
+                                         "warp": access.warp_id})
                 return ArrivalResult(immediate=[], queued=False)
 
         decoded = self._address_map.decode(access.address)

@@ -26,10 +26,14 @@ class WarpScheduler:
     issue_cycles: int
     next_free: int = 0
     issued: int = 0
+    #: Cycles ready warps spent waiting on the busy issue port — the
+    #: scheduler-stall cost center read by the profiler at end of launch.
+    stall_cycles: int = 0
 
     def issue_at(self, ready_cycle: int) -> int:
         """Reserve the issue port for one instruction; returns issue cycle."""
         cycle = max(ready_cycle, self.next_free)
+        self.stall_cycles += cycle - ready_cycle
         self.next_free = cycle + self.issue_cycles
         self.issued += 1
         return cycle
@@ -57,3 +61,7 @@ class SchedulerSet:
     @property
     def total_issued(self) -> int:
         return sum(s.issued for s in self._schedulers)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(s.stall_cycles for s in self._schedulers)

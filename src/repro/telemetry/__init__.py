@@ -36,6 +36,7 @@ from repro.telemetry.progress import (
     ProgressReporter,
     QueueProgress,
 )
+from repro.telemetry.profiler import PID_WALL, SpanProfiler
 from repro.telemetry.serve import TelemetryServer
 from repro.telemetry.tracer import (
     PID_DRAM,
@@ -57,6 +58,8 @@ __all__ = [
     "PID_SM",
     "PID_ICNT",
     "PID_DRAM",
+    "PID_WALL",
+    "SpanProfiler",
     "ProgressReporter",
     "ProgressAggregator",
     "ProgressBoard",

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import SpanProfiler
 from repro.telemetry.progress import ProgressBoard
 from repro.telemetry.tracer import Tracer
 
@@ -25,11 +26,12 @@ __all__ = ["Telemetry"]
 class Telemetry:
     """Metrics + tracing for one instrumented simulation scope."""
 
-    __slots__ = ("enabled", "metrics", "tracer", "board")
+    __slots__ = ("enabled", "metrics", "tracer", "board", "profiler")
 
     def __init__(self, enabled: bool = True,
                  trace_capacity: int = 500_000,
-                 board: Optional[ProgressBoard] = None):
+                 board: Optional[ProgressBoard] = None,
+                 profile: bool = False):
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(trace_capacity)
@@ -37,6 +39,9 @@ class Telemetry:
         #: Reporters publish here when the experiment context carries an
         #: instrumented telemetry whose board is set.
         self.board = board
+        #: Wall-clock span profiling (``--profile``). Off by default: the
+        #: runner's span sites pay one attribute check, nothing records.
+        self.profiler = SpanProfiler(enabled=profile and enabled)
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -63,6 +68,9 @@ class Telemetry:
             )
         self.metrics.merge(other.metrics)
         self.tracer.merge(other.tracer)
+        # getattr: telemetry pickled by pre-profiler checkpoints has no
+        # profiler slot; resumed chunks merge cleanly as "no spans".
+        self.profiler.merge(getattr(other, "profiler", None))
         return self
 
     def __repr__(self) -> str:

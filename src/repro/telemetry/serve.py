@@ -6,11 +6,17 @@ as JSON while the simulation is still running:
 
 * ``GET /health``   — liveness + uptime;
 * ``GET /metrics``  — full registry snapshot (stable JSON, sorted keys);
+* ``GET /metrics/history`` — the sampler thread's time series of headline
+  counters (sim cycles, coalesced accesses, trace events); pass
+  ``?since=<seq>`` (the ``next_since`` of the previous response) for an
+  incremental read, ``?limit=<n>`` to cap it;
 * ``GET /trace``    — incremental ring-buffer drain; pass ``?since=<seq>``
   (the ``next_since`` of the previous response) to fetch only new events,
   and ``?limit=<n>`` to cap the response size;
 * ``GET /progress`` — per-phase progress fanned in through the
   :class:`~repro.telemetry.progress.ProgressBoard`;
+* ``GET /profile``  — wall-clock span aggregates (when the run profiles)
+  plus live cost-center counter totals;
 * ``GET /``         — a self-contained HTML dashboard polling the above.
 
 The server runs on a daemon thread and never touches the simulator: every
@@ -24,8 +30,9 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ConfigurationError
@@ -33,12 +40,82 @@ from repro.telemetry.core import Telemetry
 from repro.telemetry.log import get_logger
 from repro.telemetry.metrics import stable_json
 
-__all__ = ["TelemetryServer", "DEFAULT_TRACE_LIMIT", "parse_serve_spec"]
+__all__ = [
+    "MetricsHistory",
+    "TelemetryServer",
+    "DEFAULT_TRACE_LIMIT",
+    "DEFAULT_HISTORY_CAPACITY",
+    "parse_serve_spec",
+]
 
 _log = get_logger("telemetry.serve")
 
 #: Cap on events per ``/trace`` response unless the client overrides it.
 DEFAULT_TRACE_LIMIT = 2000
+
+#: Samples kept in the metrics-history ring (10 min at the 1 s cadence).
+DEFAULT_HISTORY_CAPACITY = 600
+
+
+class MetricsHistory:
+    """A bounded ring of periodic metrics samples with a ``seq`` cursor.
+
+    Follows the trace ring buffer's incremental-drain contract: every
+    sample gets a monotonically increasing ``seq``, and :meth:`since`
+    returns samples with ``seq > since`` plus the cursor for the next
+    call and how many requested samples the ring already evicted. Safe
+    for one writer (the sampler thread) and many readers (handlers).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_HISTORY_CAPACITY):
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"history capacity must be positive, got {capacity}"
+            )
+        self._entries: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def append(self, entry: Dict[str, object]) -> int:
+        """Stamp ``entry`` with the next ``seq`` and keep it; returns it."""
+        with self._lock:
+            self._seq += 1
+            entry = dict(entry, seq=self._seq)
+            self._entries.append(entry)
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def recorded(self) -> int:
+        """Samples ever taken (>= ``len`` once the ring wraps)."""
+        with self._lock:
+            return self._seq
+
+    def since(self, since: int = 0, limit: int = 0) -> dict:
+        """Samples with ``seq > since``, oldest first.
+
+        Returns ``{"samples", "next_since", "dropped", "recorded"}`` —
+        ``next_since`` is the cursor for the next poll (unchanged when
+        nothing new arrived) and ``dropped`` counts requested samples the
+        ring evicted before this read (consumer slower than the sampler).
+        """
+        with self._lock:
+            samples = [e for e in self._entries if e["seq"] > since]
+            oldest = self._entries[0]["seq"] if self._entries else \
+                self._seq + 1
+            recorded = self._seq
+        # Requested-but-evicted: everything in (since, oldest) that no
+        # longer exists. Nothing recorded yet -> nothing dropped.
+        dropped = max(0, min(recorded, oldest - 1) - since)
+        if limit and len(samples) > limit:
+            dropped += len(samples) - limit
+            samples = samples[-limit:]
+        next_since = samples[-1]["seq"] if samples else since
+        return {"samples": samples, "next_since": next_since,
+                "dropped": dropped, "recorded": recorded}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -58,6 +135,14 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/metrics":
             self._send(200, self._server().metrics_json().encode("utf-8"),
                        "application/json")
+        elif route == "/metrics/history":
+            query = parse_qs(parsed.query)
+            since = _int_param(query, "since", 0)
+            limit = _int_param(query, "limit", 0)
+            self._send_json(200,
+                            self._server().history.since(since, limit))
+        elif route == "/profile":
+            self._send_json(200, self._server().profile())
         elif route == "/trace":
             query = parse_qs(parsed.query)
             since = _int_param(query, "since", 0)
@@ -111,7 +196,9 @@ class TelemetryServer:
     """
 
     def __init__(self, telemetry: Telemetry, host: str = "127.0.0.1",
-                 port: int = 8000):
+                 port: int = 8000,
+                 history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+                 sample_interval: float = 1.0):
         if not telemetry.enabled:
             raise ConfigurationError(
                 "cannot serve a disabled telemetry sink: nothing records"
@@ -120,6 +207,13 @@ class TelemetryServer:
         try:
             self._httpd = ThreadingHTTPServer((host, port), _Handler)
         except OSError as exc:
+            # Surface the failed bind on the shared board before raising:
+            # a run whose dashboard silently never came up would look
+            # healthy from the outside, and a *surviving* server on the
+            # same board reports /health as degraded instead of wedging
+            # (tests/robustness/test_serve_faults.py).
+            if telemetry.board is not None:
+                telemetry.board.incident("bind-conflict")
             raise ConfigurationError(
                 f"cannot bind telemetry server to {host}:{port} "
                 f"({exc.strerror or exc}); pick another port, or use "
@@ -129,6 +223,10 @@ class TelemetryServer:
         self._httpd.owner = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._started = time.monotonic()
+        self.history = MetricsHistory(history_capacity)
+        self._sample_interval = max(0.05, sample_interval)
+        self._sampler: Optional[threading.Thread] = None
+        self._sampler_stop = threading.Event()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -153,17 +251,56 @@ class TelemetryServer:
                                         daemon=True,
                                         name="rcoal-telemetry-serve")
         self._thread.start()
+        self._sampler_stop.clear()
+        self._sampler = threading.Thread(target=self._sample_loop,
+                                         daemon=True,
+                                         name="rcoal-telemetry-sampler")
+        self._sampler.start()
         _log.info("telemetry server listening on %s", self.url)
         return self
 
     def stop(self) -> None:
         if self._thread is None:
             return
+        self._sampler_stop.set()
+        if self._sampler is not None:
+            self._sampler.join()
+            self._sampler = None
         self._httpd.shutdown()
         self._thread.join()
         self._thread = None
         self._httpd.server_close()
         _log.info("telemetry server on %s stopped", self.url)
+
+    def _sample_loop(self) -> None:
+        # Take one sample immediately so short runs still chart, then on
+        # the configured cadence until stop() fires the event.
+        self.sample_history()
+        while not self._sampler_stop.wait(self._sample_interval):
+            self.sample_history()
+
+    def sample_history(self) -> int:
+        """Append one metrics sample to the history ring; returns its seq.
+
+        Public so tests (and embedding code) can drive the time series
+        deterministically instead of sleeping on the sampler cadence.
+        Reads go through the same retry-on-mutation snapshot the export
+        paths use — sampling never perturbs the run.
+        """
+        snapshot = self.telemetry.metrics.snapshot()
+
+        def counter(name: str) -> int:
+            entry = snapshot.get(name)
+            return int(entry["value"]) if entry is not None \
+                and "value" in entry else 0
+
+        return self.history.append({
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "sim_cycles": counter("sim.cycles"),
+            "accesses": counter("coalescer.accesses"),
+            "kernels": counter("sim.kernels"),
+            "trace_events": self.telemetry.tracer.recorded,
+        })
 
     def __enter__(self) -> "TelemetryServer":
         return self.start()
@@ -211,6 +348,23 @@ class TelemetryServer:
             return {"phases": {}, "done": 0, "total": 0, "incidents": {},
                     "uptime_seconds": 0.0}
         return board.snapshot()
+
+    def profile(self) -> dict:
+        """Wall-clock span aggregates plus live cost-center totals.
+
+        The wall axis is empty unless the run was started with profiling
+        on (``--profile`` / ``rcoal profile``); the sim axis is the cheap
+        counter-based approximation — stage occupancy, not critical-path
+        attribution (that needs the offline trace join).
+        """
+        from repro.analysis.costcenters import live_cost_centers
+        profiler = self.telemetry.profiler
+        return {
+            "profiler_enabled": profiler.enabled,
+            "wall_spans": profiler.snapshot(),
+            "sim_counters": live_cost_centers(
+                self.telemetry.metrics.snapshot()),
+        }
 
 
 def parse_serve_spec(spec: str) -> Tuple[str, int]:
@@ -304,6 +458,20 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
            white-space: pre; overflow-x: auto; color: var(--text-2);
            min-height: 60px; }
   .muted { color: var(--text-2); }
+  .sparks { display: grid; gap: 12px; max-width: 720px;
+            grid-template-columns: repeat(auto-fit, minmax(260px, 1fr)); }
+  .spark { background: var(--panel); border: 1px solid var(--border);
+           border-radius: 8px; padding: 12px 14px; }
+  .spark .head { display: flex; justify-content: space-between;
+                 align-items: baseline; margin-bottom: 6px; }
+  .spark .label { color: var(--text-2); font-size: 12px;
+                  text-transform: uppercase; letter-spacing: .04em; }
+  .spark .now { font-size: 16px; font-weight: 650;
+                font-variant-numeric: tabular-nums; }
+  .spark svg { display: block; width: 100%; height: 48px; }
+  .spark polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
+  .spark .line-cycles { stroke: var(--blue); }
+  .spark .line-accesses { stroke: var(--orange); }
 </style>
 </head>
 <body>
@@ -322,6 +490,24 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
   <div class="tile"><div class="label">Metrics</div>
     <div class="value" id="tile-metrics">&ndash;</div></div>
 </div>
+
+<section>
+  <h2>Throughput</h2>
+  <div class="sparks">
+    <div class="spark">
+      <div class="head"><span class="label">sim cycles / s</span>
+        <span class="now" id="spark-cycles-now">&ndash;</span></div>
+      <svg viewBox="0 0 260 48" preserveAspectRatio="none">
+        <polyline class="line-cycles" id="spark-cycles" points=""/></svg>
+    </div>
+    <div class="spark">
+      <div class="head"><span class="label">accesses / s</span>
+        <span class="now" id="spark-accesses-now">&ndash;</span></div>
+      <svg viewBox="0 0 260 48" preserveAspectRatio="none">
+        <polyline class="line-accesses" id="spark-accesses" points=""/></svg>
+    </div>
+  </div>
+</section>
 
 <section>
   <h2>Experiment phases</h2>
@@ -345,6 +531,10 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
 <script>
 "use strict";
 let since = 0;
+let historySince = 0;
+let lastSample = null;
+const rates = { cycles: [], accesses: [] };
+const POINTS = 60;
 const tail = [];
 const TAIL = 18;
 const fmt = n => n.toLocaleString("en-US");
@@ -357,14 +547,16 @@ function setStatus(ok, text) {
 
 async function poll() {
   try {
-    const [health, metrics, progress, trace] = await Promise.all([
+    const [health, metrics, progress, trace, history] = await Promise.all([
       fetch("/health").then(r => r.json()),
       fetch("/metrics").then(r => r.json()),
       fetch("/progress").then(r => r.json()),
       fetch("/trace?since=" + since + "&limit=200").then(r => r.json()),
+      fetch("/metrics/history?since=" + historySince).then(r => r.json()),
     ]);
     setStatus(true, "live \\u00b7 up " + health.uptime_seconds.toFixed(0) + "s");
     renderTiles(health, metrics, progress);
+    renderSparks(history);
     renderPhases(progress);
     renderMetrics(metrics.metrics);
     renderTrace(trace);
@@ -383,6 +575,37 @@ function renderTiles(health, metrics, progress) {
     fmt(metrics.trace_recorded);
   document.getElementById("tile-metrics").textContent =
     fmt(Object.keys(metrics.metrics).length);
+}
+
+function renderSparks(history) {
+  historySince = history.next_since;
+  for (const s of history.samples) {
+    if (lastSample) {
+      const dt = s.uptime_seconds - lastSample.uptime_seconds;
+      if (dt > 0) {
+        rates.cycles.push((s.sim_cycles - lastSample.sim_cycles) / dt);
+        rates.accesses.push((s.accesses - lastSample.accesses) / dt);
+      }
+    }
+    lastSample = s;
+  }
+  while (rates.cycles.length > POINTS) rates.cycles.shift();
+  while (rates.accesses.length > POINTS) rates.accesses.shift();
+  drawSpark("cycles", rates.cycles);
+  drawSpark("accesses", rates.accesses);
+}
+
+function drawSpark(name, series) {
+  if (!series.length) return;
+  const now = series[series.length - 1];
+  document.getElementById("spark-" + name + "-now").textContent =
+    fmt(Math.round(now)) + "/s";
+  const top = Math.max(...series, 1);
+  const step = series.length > 1 ? 260 / (series.length - 1) : 0;
+  const points = series.map((v, i) =>
+    (i * step).toFixed(1) + "," + (45 - 42 * v / top).toFixed(1));
+  document.getElementById("spark-" + name)
+    .setAttribute("points", points.join(" "));
 }
 
 function renderPhases(progress) {

@@ -126,3 +126,53 @@ class TestFailureModes:
 
     def test_empty_trace_attributes_nothing(self):
         assert attribute_rounds(Telemetry().tracer) == []
+
+
+class TestBatchedParity:
+    """The vectorized join must equal the python join, element for element.
+
+    ``attribute_rounds`` auto-switches to the numpy path on big traces
+    (the 1024-line Fig 18 launches); the golden contract is that both
+    implementations produce the *same dataclasses* — same windows, same
+    contribution order, same charged cycles — so the choice is invisible.
+    """
+
+    @pytest.mark.parametrize("policy_name,subwarps,lines", [
+        ("baseline", 1, 32),
+        ("baseline", 1, 128),
+        ("fss", 4, 64),
+        ("rss_rts", 8, 32),
+        ("rss_rts", 8, 128),
+    ])
+    def test_batched_equals_python(self, policy_name, subwarps, lines):
+        telemetry, _ = _instrumented_run(policy_name, subwarps,
+                                         lines=lines)
+        python = attribute_rounds(telemetry.tracer, batched=False)
+        batched = attribute_rounds(telemetry.tracer, batched=True)
+        assert batched == python
+
+    def test_batched_round_filter_matches(self):
+        telemetry, _ = _instrumented_run("rss_rts", 8, lines=64)
+        python = attribute_rounds(telemetry.tracer, round_index=10,
+                                  batched=False)
+        batched = attribute_rounds(telemetry.tracer, round_index=10,
+                                   batched=True)
+        assert batched == python
+
+    def test_batched_empty_trace(self):
+        assert attribute_rounds(Telemetry().tracer, batched=True) == []
+
+    def test_auto_dispatch_threshold(self):
+        from repro.analysis import attribution as module
+        telemetry, _ = _instrumented_run()
+        events = len(telemetry.tracer)
+        assert events < module._BATCH_THRESHOLD  # default stays python
+        # Force the auto path both ways and check it still reconciles.
+        original = module._BATCH_THRESHOLD
+        try:
+            module._BATCH_THRESHOLD = 1
+            auto_batched = attribute_rounds(telemetry.tracer)
+        finally:
+            module._BATCH_THRESHOLD = original
+        assert auto_batched == attribute_rounds(telemetry.tracer,
+                                                batched=False)

@@ -1,0 +1,155 @@
+"""Cost-center profiling must reconcile exactly with the attribution.
+
+Every charged cycle of every round window is split across engine stages;
+the split is only trustworthy if the stage totals telescope back to the
+attribution waterfall (which itself telescopes to the golden round
+windows). These tests pin that reconciliation on the golden seed, across
+policies and warp counts, plus the report/exports the ``rcoal profile``
+command builds on.
+"""
+
+import pytest
+
+from repro.analysis.attribution import attribute_rounds, summarize_by_warp
+from repro.analysis.costcenters import (
+    COST_CENTER_NAMES,
+    collapsed_stacks,
+    cost_centers,
+    live_cost_centers,
+    render_cost_table,
+)
+from repro.core.policies import make_policy
+from repro.rng import RngStream
+from repro.telemetry import Telemetry
+from repro.workloads.plaintext import random_plaintexts
+from repro.workloads.server import EncryptionServer
+
+GOLDEN_SEED = 777
+
+
+def _instrumented_run(policy_name="baseline", subwarps=1, lines=32,
+                      samples=1):
+    key = bytes(RngStream(GOLDEN_SEED, "key").random_bytes(16))
+    plaintexts = random_plaintexts(samples, lines,
+                                   RngStream(GOLDEN_SEED, "pt"))
+    policy = make_policy(policy_name, subwarps)
+    rng = (RngStream(GOLDEN_SEED, "victim")
+           if policy.is_randomized else None)
+    telemetry = Telemetry(trace_capacity=500_000)
+    server = EncryptionServer(key, policy, rng=rng,
+                              retain_kernel_results=True,
+                              telemetry=telemetry)
+    records = [server.encrypt(p) for p in plaintexts]
+    return telemetry, records
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("policy_name,subwarps", [
+        ("baseline", 1),
+        ("fss", 4),
+        ("rss_rts", 8),
+    ])
+    def test_centers_telescope_to_window_cycles(self, policy_name,
+                                                subwarps):
+        telemetry, _ = _instrumented_run(policy_name, subwarps)
+        report = cost_centers(telemetry.tracer)
+        assert report.windows == 11  # one warp, 11 AES rounds
+        assert report.attributed_cycles == \
+            pytest.approx(report.total_window_cycles, abs=1e-6)
+        assert report.to_dict()["reconciliation"]["gap"] == \
+            pytest.approx(0.0, abs=1e-6)
+
+    def test_golden_totals_match_record_times(self):
+        telemetry, records = _instrumented_run()
+        report = cost_centers(telemetry.tracer)
+        assert report.total_window_cycles == \
+            sum(w.duration for w in attribute_rounds(telemetry.tracer))
+        # Only real engine stages appear, and the big ones are nonzero.
+        assert set(report.centers) <= set(COST_CENTER_NAMES)
+        assert report.centers["sm.compute"] > 0
+        assert report.centers["icnt.reply"] > 0
+
+    def test_per_warp_totals_match_attribution_summary(self):
+        telemetry, _ = _instrumented_run(lines=64)  # two warps
+        attributions = attribute_rounds(telemetry.tracer)
+        report = cost_centers(telemetry.tracer, attributions=attributions)
+        summary = summarize_by_warp(attributions)
+        assert set(report.per_warp) == set(summary)
+        for warp_id, agg in report.per_warp.items():
+            assert agg["total"] == \
+                pytest.approx(summary[warp_id]["cycles"])
+            split = sum(v for k, v in agg.items() if k != "total")
+            assert split == pytest.approx(agg["total"], abs=1e-6)
+
+    def test_round_filter_restricts_windows(self):
+        telemetry, records = _instrumented_run()
+        report = cost_centers(telemetry.tracer, round_index=10)
+        assert report.windows == 1
+        assert report.total_window_cycles == records[0].last_round_time
+
+    def test_reusing_attributions_matches_fresh_join(self):
+        telemetry, _ = _instrumented_run("rss", 4)
+        fresh = cost_centers(telemetry.tracer)
+        reused = cost_centers(
+            telemetry.tracer,
+            attributions=attribute_rounds(telemetry.tracer))
+        assert fresh.centers == reused.centers
+        assert fresh.per_round == reused.per_round
+
+    def test_deterministic_across_reruns(self):
+        first, _ = _instrumented_run("rss_rts", 8)
+        second, _ = _instrumented_run("rss_rts", 8)
+        assert cost_centers(first.tracer).to_dict() == \
+            cost_centers(second.tracer).to_dict()
+
+
+class TestReportSurface:
+    def test_ranked_is_sorted_descending(self):
+        telemetry, _ = _instrumented_run()
+        ranked = cost_centers(telemetry.tracer).ranked()
+        values = [cycles for _, cycles in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_render_table_lists_every_center_and_the_total(self):
+        telemetry, _ = _instrumented_run()
+        report = cost_centers(telemetry.tracer)
+        table = render_cost_table(report)
+        for name in report.centers:
+            assert name in table
+        assert "total attributed" in table
+        assert "100.00%" in table
+        top = render_cost_table(report, top=2)
+        assert len(top.splitlines()) == 4  # header + 2 rows + total
+
+    def test_collapsed_stacks_are_flamegraph_lines(self):
+        telemetry, _ = _instrumented_run(lines=64)
+        report = cost_centers(telemetry.tracer)
+        lines = collapsed_stacks(report).strip().splitlines()
+        assert all(" " in line for line in lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("sim;")
+            assert count == str(int(count))
+        # Per-warp frames exist for both warps.
+        assert any(line.startswith("sim;warp:0;") for line in lines)
+        assert any(line.startswith("sim;warp:1;") for line in lines)
+
+    def test_empty_trace_yields_empty_report(self):
+        report = cost_centers(Telemetry().tracer)
+        assert report.windows == 0
+        assert report.centers == {}
+        assert "total attributed" in render_cost_table(report)
+
+
+class TestLiveCostCenters:
+    def test_live_centers_from_metrics_snapshot(self):
+        telemetry, _ = _instrumented_run("rss_rts", 8)
+        centers = live_cost_centers(telemetry.metrics.snapshot())
+        assert centers["coalescer.serialize"] > 0
+        assert centers["dram.service"] > 0
+        assert centers["icnt.reply.transit"] > 0
+        assert centers["dram.queue_wait"] >= 0
+        assert list(centers) == sorted(centers)
+
+    def test_empty_snapshot_is_empty(self):
+        assert live_cost_centers({}) == {}

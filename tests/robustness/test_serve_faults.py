@@ -1,0 +1,88 @@
+"""Serving faults degrade, never wedge.
+
+The telemetry server is a diagnostic surface; the contract under faults
+is that it *stays* a diagnostic surface: a failed bind or a killed worker
+mid-run must surface as a ``degraded`` ``/health`` (with the incident
+named) on a server that keeps answering requests — not as a hang, a
+crash, or a silently-green dashboard.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.experiments.runner import CampaignStats, SupervisionPolicy
+from repro.faults import parse_fault_plan
+from repro.telemetry import ProgressBoard, Telemetry, TelemetryServer
+
+SEED = 515
+SAMPLES = 6
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestBindConflict:
+    def test_conflict_degrades_health_but_keeps_serving(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0) as survivor:
+            assert _get_json(f"{survivor.url}/health")["status"] == "ok"
+
+            # Same campaign (same telemetry/board) tries the taken port:
+            # the bind fails loudly AND lands on the shared board.
+            with pytest.raises(ConfigurationError) as excinfo:
+                TelemetryServer(telemetry, port=survivor.port)
+            assert "cannot bind" in str(excinfo.value)
+
+            health = _get_json(f"{survivor.url}/health")
+            assert health["status"] == "degraded"
+            assert health["incidents"]["bind-conflict"] == 1
+            # Not wedged: every endpoint still answers.
+            assert _get_json(f"{survivor.url}/metrics")["metrics"] == {}
+            assert "incidents" in _get_json(f"{survivor.url}/progress")
+
+    def test_boardless_bind_conflict_still_raises_cleanly(self):
+        telemetry = Telemetry()  # no board to report into
+        with TelemetryServer(telemetry, port=0) as survivor:
+            with pytest.raises(ConfigurationError):
+                TelemetryServer(telemetry, port=survivor.port)
+            assert _get_json(f"{survivor.url}/health")["status"] == "ok"
+
+
+class TestWorkerDeathDuringServe:
+    def test_killed_worker_degrades_health_not_the_server(self):
+        """A real os._exit in a pool worker while the dashboard serves.
+
+        The supervisor rebuilds the pool and retries; the server reports
+        the incident on ``/health`` as degraded and keeps answering —
+        and the run itself still completes with full results.
+        """
+        telemetry = Telemetry(board=ProgressBoard())
+        campaign = CampaignStats()
+        ctx = ExperimentContext(
+            root_seed=SEED, samples=SAMPLES, telemetry=telemetry, jobs=2,
+            supervision=SupervisionPolicy(backoff_base=0.0),
+            faults=parse_fault_plan("exit@5"),
+            campaign=campaign,
+        )
+        with TelemetryServer(telemetry, port=0) as server:
+            _, records = collect_records(ctx, make_policy("baseline", 1),
+                                         SAMPLES, counts_only=True)
+            health = _get_json(f"{server.url}/health")
+            assert health["status"] == "degraded"
+            assert health["incidents"].get("worker-killed", 0) >= 1
+            # Degraded, not dead: the other endpoints keep answering and
+            # progress still shows the finished phase.
+            progress = _get_json(f"{server.url}/progress")
+            assert progress["incidents"].get("worker-killed", 0) >= 1
+            assert _get_json(f"{server.url}/profile")[
+                "profiler_enabled"] is False
+        assert len(records) == SAMPLES
+        assert campaign.pool_restarts >= 1
+        assert not campaign.failed_samples

@@ -1,0 +1,152 @@
+"""Wall-clock span profiler: recording, null object, merge determinism.
+
+The profiler follows the telemetry null-object discipline — the disabled
+singleton must be allocation-free and record nothing — and its merge must
+produce a deterministic aggregate *shape* (names, counts) regardless of
+wall-clock jitter, which is what lets ``rcoal profile`` print comparable
+tables across runs.
+"""
+
+import pickle
+
+from repro.telemetry import PID_WALL, SpanProfiler, Telemetry
+
+
+class TestRecording:
+    def test_span_records_count_total_and_peak(self):
+        profiler = SpanProfiler()
+        profiler.record("stage", 5_000_000)
+        profiler.record("stage", 3_000_000)
+        snap = profiler.snapshot()
+        assert snap["stage"]["count"] == 2
+        assert snap["stage"]["total_ms"] == 8.0
+        assert snap["stage"]["mean_ms"] == 4.0
+        assert snap["stage"]["max_ms"] == 5.0
+
+    def test_span_context_manager_measures_wall_time(self):
+        profiler = SpanProfiler()
+        with profiler.span("work"):
+            pass
+        snap = profiler.snapshot()
+        assert snap["work"]["count"] == 1
+        assert snap["work"]["total_ms"] >= 0.0
+
+    def test_span_records_even_when_the_body_raises(self):
+        profiler = SpanProfiler()
+        try:
+            with profiler.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert profiler.snapshot()["failing"]["count"] == 1
+
+    def test_snapshot_is_sorted_by_name(self):
+        profiler = SpanProfiler()
+        profiler.record("zeta", 1)
+        profiler.record("alpha", 1)
+        assert list(profiler.snapshot()) == ["alpha", "zeta"]
+
+
+class TestNullObject:
+    def test_disabled_is_a_shared_singleton(self):
+        assert SpanProfiler.disabled() is SpanProfiler.disabled()
+        assert not SpanProfiler.disabled().enabled
+
+    def test_disabled_span_is_shared_and_records_nothing(self):
+        disabled = SpanProfiler.disabled()
+        first = disabled.span("a")
+        second = disabled.span("b")
+        assert first is second  # one no-op object, zero allocation
+        with first:
+            pass
+        assert len(disabled) == 0
+        assert disabled.snapshot() == {}
+
+    def test_disabled_record_is_a_noop(self):
+        disabled = SpanProfiler.disabled()
+        disabled.record("x", 123)
+        assert disabled.snapshot() == {}
+
+    def test_telemetry_defaults_to_disabled_profiler(self):
+        assert Telemetry().profiler.enabled is False
+        assert Telemetry(profile=True).profiler.enabled is True
+        # Disabled telemetry never profiles, whatever the flag says.
+        assert Telemetry.disabled().profiler.enabled is False
+
+
+class TestMerge:
+    def _worker(self, names):
+        worker = SpanProfiler()
+        for name in names:
+            worker.record(name, 1_000_000)
+        return worker
+
+    def test_merge_sums_counts_and_totals(self):
+        parent = self._worker(["merge"])
+        parent.merge(self._worker(["merge", "simulate"]))
+        snap = parent.snapshot()
+        assert snap["merge"]["count"] == 2
+        assert snap["merge"]["total_ms"] == 2.0
+        assert snap["simulate"]["count"] == 1
+
+    def test_merge_takes_the_peak(self):
+        parent = SpanProfiler()
+        parent.record("s", 1_000_000)
+        worker = SpanProfiler()
+        worker.record("s", 9_000_000)
+        parent.merge(worker)
+        assert parent.snapshot()["s"]["max_ms"] == 9.0
+
+    def test_merge_none_and_disabled_are_noops(self):
+        parent = self._worker(["a"])
+        parent.merge(None)
+        parent.merge(SpanProfiler.disabled())
+        parent.merge(parent)
+        assert parent.snapshot()["a"]["count"] == 1
+
+    def test_merge_shape_is_deterministic(self):
+        """Same chunk structure -> same names/counts, run after run."""
+
+        def simulate_run():
+            parent = SpanProfiler()
+            for chunk in range(3):
+                parent.record("runner.submit", 10 + chunk)
+                worker = SpanProfiler()
+                worker.record("chunk.workload", 100 + chunk)
+                worker.record("chunk.simulate", 200 + chunk)
+                parent.merge(worker)
+                parent.record("runner.merge", 5)
+            return {name: data["count"]
+                    for name, data in parent.snapshot().items()}
+
+        first, second = simulate_run(), simulate_run()
+        assert first == second == {
+            "chunk.simulate": 3, "chunk.workload": 3,
+            "runner.merge": 3, "runner.submit": 3,
+        }
+
+    def test_merged_profiler_survives_pickling(self):
+        """Chunk profilers ride home inside pickled worker telemetry."""
+        worker = Telemetry(profile=True)
+        with worker.profiler.span("chunk.simulate"):
+            pass
+        parent = Telemetry(profile=True)
+        parent.merge(pickle.loads(pickle.dumps(worker)))
+        assert parent.profiler.snapshot()["chunk.simulate"]["count"] == 1
+
+
+class TestChromeExport:
+    def test_spans_export_on_the_wall_process(self):
+        profiler = SpanProfiler()
+        profiler.record("stage", 2_000_000, start_ns=profiler._origin_ns)
+        worker = SpanProfiler()
+        worker.record("chunk", 1_000_000, start_ns=worker._origin_ns)
+        profiler.merge(worker)
+        events = profiler.to_chrome_events()
+        assert events[0]["ph"] == "M"  # process_name metadata first
+        assert events[0]["args"] == {"name": "wall-clock"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {PID_WALL}
+        # Parent lane 0, first merged worker lane 1.
+        assert sorted(e["tid"] for e in spans) == [0, 1]
+        assert all(e["dur"] >= 1 for e in spans)

@@ -17,7 +17,7 @@ from repro.core.policies import make_policy
 from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentContext, collect_records
 from repro.telemetry import ProgressBoard, Telemetry, TelemetryServer
-from repro.telemetry.serve import parse_serve_spec
+from repro.telemetry.serve import MetricsHistory, parse_serve_spec
 from repro.telemetry.tracer import Tracer
 
 
@@ -206,6 +206,115 @@ class TestServeDuringRun:
         phase = snapshot["phases"]["baseline(M=1)"]
         assert phase["done"] == 4 and phase["total"] == 4
         assert phase["state"] == "done"
+
+
+class TestMetricsHistory:
+    """The time-series ring behind ``/metrics/history``."""
+
+    def test_incremental_cursor(self):
+        history = MetricsHistory(capacity=10)
+        for i in range(3):
+            history.append({"uptime_seconds": float(i)})
+        out = history.since(0)
+        assert [s["seq"] for s in out["samples"]] == [1, 2, 3]
+        assert out["next_since"] == 3 and out["dropped"] == 0
+        # Nothing new: cursor unchanged, no samples.
+        again = history.since(out["next_since"])
+        assert again["samples"] == [] and again["next_since"] == 3
+        history.append({"uptime_seconds": 3.0})
+        fresh = history.since(again["next_since"])
+        assert [s["seq"] for s in fresh["samples"]] == [4]
+        assert fresh["next_since"] == 4
+
+    def test_eviction_is_reported_as_dropped(self):
+        history = MetricsHistory(capacity=3)
+        for i in range(10):
+            history.append({"uptime_seconds": float(i)})
+        out = history.since(0)
+        assert [s["seq"] for s in out["samples"]] == [8, 9, 10]
+        assert out["dropped"] == 7 and out["recorded"] == 10
+
+    def test_limit_drops_oldest(self):
+        history = MetricsHistory(capacity=10)
+        for i in range(5):
+            history.append({"uptime_seconds": float(i)})
+        out = history.since(0, limit=2)
+        assert [s["seq"] for s in out["samples"]] == [4, 5]
+        assert out["dropped"] == 3 and out["next_since"] == 5
+
+    def test_empty_ring_drops_nothing(self):
+        out = MetricsHistory().since(0)
+        assert out == {"samples": [], "next_since": 0, "dropped": 0,
+                       "recorded": 0}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MetricsHistory(capacity=0)
+
+
+class TestHistoryEndpoint:
+    def test_sample_history_drives_the_series(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0,
+                             sample_interval=60.0) as server:
+            ctx = ExperimentContext(root_seed=123, samples=1,
+                                    telemetry=telemetry)
+            collect_records(ctx, make_policy("baseline"), 1)
+            seq = server.sample_history()
+            _, _, body = _get(f"{server.url}/metrics/history?since=0")
+            payload = json.loads(body)
+            latest = payload["samples"][-1]
+            assert latest["seq"] == seq == payload["next_since"]
+            assert latest["sim_cycles"] > 0
+            assert latest["accesses"] > 0
+            assert latest["trace_events"] > 0
+            # Incremental read from the cursor is empty until resampled.
+            _, _, body = _get(
+                f"{server.url}/metrics/history?since={seq}")
+            assert json.loads(body)["samples"] == []
+            server.sample_history()
+            _, _, body = _get(
+                f"{server.url}/metrics/history?since={seq}")
+            assert len(json.loads(body)["samples"]) == 1
+
+    def test_sampler_thread_records_on_start(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0) as server:
+            # start() samples once before the first interval elapses.
+            assert server.history.recorded >= 1
+
+
+class TestProfileEndpoint:
+    def test_unprofiled_run_reports_disabled_axis(self):
+        telemetry = Telemetry(board=ProgressBoard())
+        with TelemetryServer(telemetry, port=0) as server:
+            _, _, body = _get(f"{server.url}/profile")
+            payload = json.loads(body)
+            assert payload["profiler_enabled"] is False
+            assert payload["wall_spans"] == {}
+
+    def test_profiled_run_exposes_both_axes(self):
+        telemetry = Telemetry(board=ProgressBoard(), profile=True)
+        with TelemetryServer(telemetry, port=0) as server:
+            ctx = ExperimentContext(root_seed=123, samples=1,
+                                    telemetry=telemetry)
+            collect_records(ctx, make_policy("baseline"), 1)
+            _, _, body = _get(f"{server.url}/profile")
+            payload = json.loads(body)
+            assert payload["profiler_enabled"] is True
+            assert payload["wall_spans"]["serial.simulate"]["count"] == 1
+            assert payload["sim_counters"]["coalescer.serialize"] > 0
+            assert payload["sim_counters"]["dram.service"] > 0
+
+
+class TestDashboardSparklines:
+    def test_dashboard_polls_history(self):
+        with TelemetryServer(Telemetry(board=ProgressBoard()),
+                             port=0) as server:
+            _, _, body = _get(f"{server.url}/")
+            for marker in ("/metrics/history?since=", "spark-cycles",
+                           "spark-accesses", "renderSparks"):
+                assert marker in body
 
 
 class TestBindFailures:
