@@ -1,7 +1,8 @@
 # Convenience targets for the RCoal reproduction.
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
-        profile metrics perf serve attribute check-metrics chaos clean
+        profile metrics perf serve attribute check-metrics bench-check \
+        chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -58,6 +59,12 @@ check-metrics:
 	rcoal metrics fig05 --samples 4 --check BASELINE_METRICS.json
 	rcoal metrics fig07 --samples 4 --check BASELINE_METRICS.json
 	rcoal metrics fig13 --samples 4 --check BASELINE_METRICS.json
+
+# Gate simulator throughput against the committed floors (what CI
+# runs). The probe report goes to an untracked scratch file so the
+# committed BENCH_<n>.json sequence stays curated by hand.
+bench-check:
+	rcoal bench --check BENCH_FLOORS.json --out .bench-check.json
 
 # Fault-injection suite: supervision, checkpoint/resume, crash-safe
 # writes; see docs/robustness.md.

@@ -1,0 +1,122 @@
+"""Vectorized T-table AES-128 over whole plaintext batches.
+
+:class:`repro.aes.ttable.TTableAES` encrypts one 16-byte line at a time in
+pure Python — fine for one launch, but the batched simulation core
+(:mod:`repro.gpu.batched`) needs the ciphertexts *and* the per-round table
+indices of thousands of lines at once. This module performs the identical
+computation as numpy array operations over a ``(num_lines, 16)`` uint8
+matrix: ~52 vector steps (9 main rounds x 4 columns + 16 last-round bytes)
+regardless of batch size.
+
+The lookup *order* is preserved exactly: main-round lookup ``k`` hits table
+``k % 4`` (the unrolled T0..T3 cycle of ``TTableAES._main_round``), the
+last round's lookup ``j`` is the T4 read producing ciphertext byte ``j``.
+``encrypt_batch(key, lines)[n]`` therefore equals the scalar trace of line
+``n`` byte for byte — a property the parity tests pin against
+:class:`TTableAES` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.aes.key_schedule import NUM_ROUNDS, expand_key
+from repro.aes.tables import ROUND_TABLES, T4
+from repro.aes.ttable import LOOKUPS_PER_ROUND
+from repro.errors import BlockSizeError
+
+__all__ = ["encrypt_batch", "table_id_grid"]
+
+#: (10, 16) table id of lookup ``k`` in round ``r``: rounds 1..9 cycle
+#: T0..T3 (one lookup into each per output column), round 10 is all T4.
+_TABLE_ID_GRID = np.array(
+    [[k % 4 for k in range(LOOKUPS_PER_ROUND)]] * (NUM_ROUNDS - 1)
+    + [[4] * LOOKUPS_PER_ROUND],
+    dtype=np.int64,
+)
+
+#: (5, 256, 4) uint8: byte ``r`` of entry ``i`` of table ``t``.
+_TABLE_BYTES: np.ndarray = np.array(
+    [[entry for entry in table] for table in ROUND_TABLES + (T4,)],
+    dtype=np.uint8,
+)
+
+_KEY_CACHE: Dict[bytes, np.ndarray] = {}
+
+
+def table_id_grid() -> np.ndarray:
+    """The (rounds, lookups) -> table id grid (read-only view)."""
+    return _TABLE_ID_GRID
+
+
+def _round_keys(key: bytes) -> np.ndarray:
+    """The expanded key as a (11, 16) uint8 matrix (memoized per key)."""
+    cached = _KEY_CACHE.get(key)
+    if cached is None:
+        cached = np.array([list(rk) for rk in expand_key(key)],
+                          dtype=np.uint8)
+        if len(_KEY_CACHE) > 64:  # a run touches a handful of keys
+            _KEY_CACHE.clear()
+        _KEY_CACHE[bytes(key)] = cached
+    return cached
+
+
+def encrypt_batch(key: bytes, lines: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Encrypt ``lines`` (shape ``(N, 16)`` uint8) under ``key`` at once.
+
+    Returns ``(ciphertexts, indices)``:
+
+    * ``ciphertexts`` — ``(N, 16)`` uint8, equal to the scalar
+      :class:`TTableAES` ciphertext of each line;
+    * ``indices`` — ``(N, 10, 16)`` uint8, the table index of lookup ``k``
+      of round ``r+1`` for each line, in the exact per-thread instruction
+      order the warp programs gather (the table *id* of a lookup is a pure
+      function of ``(round, k)`` — see :func:`table_id_grid`).
+    """
+    lines = np.asarray(lines, dtype=np.uint8)
+    if lines.ndim != 2 or lines.shape[1] != 16:
+        raise BlockSizeError(
+            f"expected an (N, 16) byte matrix, got shape {lines.shape}"
+        )
+    num_lines = lines.shape[0]
+    keys = _round_keys(bytes(key))
+    tb = _TABLE_BYTES
+
+    # State as (N, row, col); the column-major input map means byte
+    # ``r + 4c`` lands in state[r][c].
+    state = (lines ^ keys[0]).reshape(num_lines, 4, 4).transpose(0, 2, 1)
+
+    indices = np.empty((num_lines, NUM_ROUNDS, LOOKUPS_PER_ROUND),
+                       dtype=np.uint8)
+
+    for round_index in range(1, NUM_ROUNDS):
+        round_key = keys[round_index].reshape(4, 4)  # [c, r]
+        new_state = np.empty_like(state)
+        out = indices[:, round_index - 1]
+        for c in range(4):
+            i0 = state[:, 0, c]
+            i1 = state[:, 1, (c + 1) % 4]
+            i2 = state[:, 2, (c + 2) % 4]
+            i3 = state[:, 3, (c + 3) % 4]
+            k = 4 * c
+            out[:, k] = i0
+            out[:, k + 1] = i1
+            out[:, k + 2] = i2
+            out[:, k + 3] = i3
+            # One MixColumns column: XOR of the four table entries + key.
+            new_state[:, :, c] = (tb[0][i0] ^ tb[1][i1] ^ tb[2][i2]
+                                  ^ tb[3][i3] ^ round_key[c])
+        state = new_state
+
+    ciphertexts = np.empty((num_lines, 16), dtype=np.uint8)
+    last_key = keys[NUM_ROUNDS]
+    out = indices[:, NUM_ROUNDS - 1]
+    for j in range(16):
+        r, c = j % 4, j // 4
+        index = state[:, r, (c + r) % 4]
+        out[:, j] = index
+        ciphertexts[:, j] = tb[4][index, r] ^ last_key[4 * c + r]
+    return ciphertexts, indices

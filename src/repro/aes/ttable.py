@@ -100,6 +100,12 @@ class TTableAES:
         self._round_keys = expand_key(key)
 
     @property
+    def key(self) -> bytes:
+        """The master key (victim-internal; the batched core re-expands
+        it for its vectorized encryption)."""
+        return self._key
+
+    @property
     def last_round_key(self) -> bytes:
         """The round-10 key (what the correlation attack recovers)."""
         return self._round_keys[NUM_ROUNDS]

@@ -46,6 +46,7 @@ from repro.analysis.security import (
     normalized_samples,
     security_table,
 )
+from repro.analysis.surrogate import TimingSurrogate, fit_surrogate
 
 __all__ = [
     "stirling2",
@@ -69,4 +70,6 @@ __all__ = [
     "SecurityRow",
     "security_table",
     "normalized_samples",
+    "TimingSurrogate",
+    "fit_surrogate",
 ]

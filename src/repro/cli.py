@@ -97,6 +97,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "stdout stays bit-identical (see 'rcoal "
                              "profile' for the sim-cycle cost-center "
                              "profiler)")
+    parser.add_argument("--batched", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="force the batched structure-of-arrays "
+                             "collection core for counts-only phases "
+                             "(--no-batched forces the per-launch event "
+                             "engine); default: REPRO_BATCHED, then on. "
+                             "Counts are checksum-identical either way "
+                             "(see docs/performance.md)")
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -301,7 +309,8 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
         server = None
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs, **_resilience_fields(args))
+                            jobs=args.jobs, batched=args.batched,
+                            **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
             args.resume, args.experiment, ctx, multiple=False,
@@ -406,7 +415,8 @@ def _run_serve_command(argv: List[str]) -> int:
     server = _start_server(args.port, telemetry)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs, **_resilience_fields(args))
+                            jobs=args.jobs, batched=args.batched,
+                            **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
             args.resume, args.experiment, ctx, multiple=False,
@@ -488,7 +498,8 @@ def _run_profile_command(argv: List[str]) -> int:
     telemetry = Telemetry(trace_capacity=args.capacity, profile=True)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs, **_resilience_fields(args))
+                            jobs=args.jobs, batched=args.batched,
+                            **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
             args.resume, args.experiment, ctx, multiple=False,
@@ -595,6 +606,11 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="report path (default: next free "
                              "BENCH_<n>.json in the CWD)")
+    parser.add_argument("--check", metavar="FLOORS", default=None,
+                        help="compare the report against committed "
+                             "throughput floors (e.g. BENCH_FLOORS.json); "
+                             "exit 1 when any workload regresses past "
+                             "its floor")
     parser.add_argument("--profile", action="store_true",
                         help="run the fig07 harness workloads with span "
                              "profiling enabled (recorded in the report's "
@@ -607,13 +623,27 @@ def _build_bench_parser() -> argparse.ArgumentParser:
 def _run_bench_command(argv: List[str]) -> int:
     args = _build_bench_parser().parse_args(argv)
     configure_logging(args.verbose or 1)
-    from repro.experiments.bench import render_report, run_bench, write_bench
+    from repro.experiments.bench import (
+        check_bench_floors,
+        render_report,
+        run_bench,
+        write_bench,
+    )
     jobs = args.jobs if args.jobs != 0 else (os.cpu_count() or 1)
     report = run_bench(jobs=jobs, samples=args.samples, lines=args.lines,
                        repeat=args.repeat, seed=args.seed,
                        profile=args.profile)
     print(render_report(report))
     print(f"[bench report written to {write_bench(report, args.out)}]")
+    if args.check:
+        violations = check_bench_floors(report, args.check)
+        if violations:
+            print(f"bench regression vs {args.check} "
+                  f"({len(violations)} violation(s)):", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"[bench clears the floors in {args.check}]")
     return 0
 
 
@@ -663,7 +693,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         telemetry = Telemetry(profile=True)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
-                            jobs=args.jobs, **_resilience_fields(args))
+                            jobs=args.jobs, batched=args.batched,
+                            **_resilience_fields(args))
 
     multiple = len(ids) > 1
 

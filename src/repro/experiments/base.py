@@ -33,7 +33,7 @@ from repro.telemetry import (
     Telemetry,
     get_logger,
 )
-from repro.utils import env_flag, scaled_samples
+from repro.utils import batched_mode, env_flag, scaled_samples
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
@@ -74,6 +74,12 @@ class ExperimentContext:
     #: one per CPU). Parallel runs are bit-identical to serial because all
     #: per-sample randomness is derived from (root_seed, stream, sample).
     jobs: int = 1
+    #: Collection-engine selection for counts-only phases: True forces the
+    #: batched structure-of-arrays core, False forces the per-launch event
+    #: path, None (default) resolves via REPRO_BATCHED and then to the
+    #: batched core (counts are checksum-identical either way; timed
+    #: collection always uses the event engine).
+    batched: Optional[bool] = None
     #: Optional worker supervision (deadlines, retries, quarantine) — a
     #: ``repro.experiments.runner.SupervisionPolicy``. None (the default)
     #: means unsupervised: failures propagate, nothing is retried, and
@@ -218,6 +224,18 @@ def collect_records(
         board=ctx.telemetry.board if ctx.telemetry is not None else None,
     )
     stream_name = victim_stream_name(policy)
+    if counts_only and batched_mode(ctx.batched):
+        from repro.gpu.batched import BatchedCountsCore
+        core = BatchedCountsCore(server)
+        with profiler.span("serial.simulate"):
+            records = core.encrypt_batch(
+                plaintexts,
+                [ctx.sample_stream(stream_name, index)
+                 for index in range(num_samples)],
+                on_record=lambda record: reporter.update(),
+            )
+        reporter.finish()
+        return server, records
     records = []
     with profiler.span("serial.simulate"):
         for index, plaintext in enumerate(plaintexts):

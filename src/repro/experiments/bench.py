@@ -11,8 +11,11 @@ trajectory to regress against:
 * ``profiler_overhead`` — the same launches rerun with telemetry and
   span profiling enabled, so the observer-effect cost is on record
   (an unflagged run pays none of it: no telemetry object exists);
-* ``counts_sweep`` — the combinatorial counts-only fast path at Fig
-  18 scale (wide plaintexts, no timing engine), reported as ms/sample;
+* ``counts_sweep`` — counts-only collection at Fig 18 scale (wide
+  plaintexts, no timing engine), timed under *both* engines: the
+  batched structure-of-arrays core (the default; ``ms_per_sample``)
+  and the per-launch event path (``event_ms_per_sample``), with the
+  speedup and a counts-equality check recorded;
 * ``fig07`` — one complete experiment harness end-to-end (collection
   for every mechanism in the subwarp sweep plus the corresponding
   attacks), the unit of ``rcoal all`` throughput. With ``--jobs N`` the
@@ -38,7 +41,8 @@ from repro.core.policies import make_policy
 from repro.experiments.base import ExperimentContext, collect_records
 from repro.telemetry import get_logger
 
-__all__ = ["default_bench_path", "run_bench", "write_bench"]
+__all__ = ["check_bench_floors", "default_bench_path", "run_bench",
+           "write_bench"]
 
 log = get_logger(__name__)
 
@@ -141,21 +145,37 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
         "overhead_ratio": round(on_seconds / seconds, 2),
     }
 
-    # -- counts-only fast path (Fig 18 scale) ----------------------------
+    # -- counts-only fast path (Fig 18 scale), both engines --------------
     ctx = ExperimentContext(root_seed=seed, samples=COUNTS_SAMPLES,
                             lines=lines)
-    log.info("bench: counts_sweep (%d samples x %d lines)",
+    log.info("bench: counts_sweep (%d samples x %d lines, batched)",
              COUNTS_SAMPLES, lines)
-    seconds, _ = _best_of(
-        lambda: collect_records(ctx, policy, COUNTS_SAMPLES,
-                                counts_only=True), repeat
+    seconds, collected = _best_of(
+        lambda: collect_records(ctx.with_(batched=True), policy,
+                                COUNTS_SAMPLES, counts_only=True), repeat
     )
+    _, batched_records = collected
+    log.info("bench: counts_sweep (%d samples x %d lines, event engine)",
+             COUNTS_SAMPLES, lines)
+    event_seconds, collected = _best_of(
+        lambda: collect_records(ctx.with_(batched=False), policy,
+                                COUNTS_SAMPLES, counts_only=True), repeat
+    )
+    _, event_records = collected
     workloads["counts_sweep"] = {
-        "description": f"counts-only collection, {lines}-line plaintexts",
+        "description": f"counts-only collection, {lines}-line plaintexts "
+                       "(batched structure-of-arrays core)",
         "samples": COUNTS_SAMPLES,
         "lines": lines,
         "seconds": round(seconds, 4),
         "ms_per_sample": round(seconds / COUNTS_SAMPLES * 1e3, 2),
+        "event_seconds": round(event_seconds, 4),
+        "event_ms_per_sample": round(event_seconds / COUNTS_SAMPLES * 1e3,
+                                     2),
+        "speedup_vs_event": round(event_seconds / seconds, 2),
+        # Dataclass equality across every record: the engines must agree
+        # on ciphertexts and every access count, or the speedup is moot.
+        "counts_identical": batched_records == event_records,
     }
 
     # -- one full experiment harness -------------------------------------
@@ -190,6 +210,55 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
     return report
 
 
+def check_bench_floors(report: Dict[str, object],
+                       floors_path: str) -> list:
+    """Compare a bench report against committed throughput floors.
+
+    ``floors_path`` holds ``{"floors": {"<workload>.<key>": {"min": x}
+    or {"max": y}}}`` — ``min`` for throughput-style numbers (simulated
+    cycles per second), ``max`` for cost-style numbers (ms per sample).
+    Floors are deliberately *generous* (several-fold slack against the
+    committed BENCH numbers): wall clocks vary across hosts and CI
+    runners, and the gate exists to catch order-of-magnitude regressions
+    — an accidentally-disabled fast path, a quadratic loop — not 10%
+    noise. Trend tracking stays the BENCH_<n>.json series' job.
+
+    Returns a list of human-readable violations (empty = all clear).
+    A floor naming a workload the report didn't run is itself a
+    violation: a gate that silently skips is no gate.
+    """
+    with open(floors_path, "r", encoding="utf-8") as handle:
+        floors = json.load(handle)
+    workloads = report.get("workloads", {})
+    violations = []
+    for path, bounds in sorted(floors.get("floors", {}).items()):
+        workload, _, key = path.partition(".")
+        data = workloads.get(workload, {})
+        value = data.get(key)
+        if value is None:
+            violations.append(
+                f"{path}: not present in this bench report "
+                f"(workload missing or key renamed)"
+            )
+            continue
+        minimum = bounds.get("min")
+        if minimum is not None and value < minimum:
+            violations.append(
+                f"{path}: {value} fell below the floor {minimum}"
+            )
+        maximum = bounds.get("max")
+        if maximum is not None and value > maximum:
+            violations.append(
+                f"{path}: {value} exceeded the ceiling {maximum}"
+            )
+        if bounds.get("expect") is not None \
+                and value != bounds["expect"]:
+            violations.append(
+                f"{path}: {value!r} != expected {bounds['expect']!r}"
+            )
+    return violations
+
+
 def write_bench(report: Dict[str, object], path: Optional[str] = None) -> str:
     """Write a bench report as pretty JSON; returns the path."""
     target = path or default_bench_path()
@@ -205,7 +274,8 @@ def render_report(report: Dict[str, object]) -> str:
         parts = [f"{name}: {data['seconds']}s"]
         for key in ("ms_per_launch", "ms_per_sample",
                     "sim_cycles_per_second", "speedup_vs_serial",
-                    "overhead_ratio"):
+                    "event_ms_per_sample", "speedup_vs_event",
+                    "counts_identical", "overhead_ratio"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  ".join(parts))

@@ -49,7 +49,7 @@ from repro.errors import CheckpointMismatchError
 from repro.telemetry import Telemetry, get_logger
 from repro.telemetry.baseline import compare_snapshots
 from repro.telemetry.metrics import stable_json
-from repro.utils import atomic_write_bytes, atomic_write_text
+from repro.utils import atomic_write_bytes, atomic_write_text, batched_mode
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -97,6 +97,11 @@ def campaign_fingerprint(experiment_id: str, ctx,
         "repro_fast": os.environ.get("REPRO_FAST") or None,
         "repro_samples": os.environ.get("REPRO_SAMPLES") or None,
         "instrumented": bool(instrumented),
+        # Engine selection for counts-only phases. Counts are
+        # checksum-identical across the two cores, but like --profile the
+        # selection is part of the campaign's identity so a --resume never
+        # silently mixes cores.
+        "batched": batched_mode(getattr(ctx, "batched", None)),
     }
 
 

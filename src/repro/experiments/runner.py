@@ -36,6 +36,7 @@ and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import sys
@@ -64,7 +65,7 @@ from repro.telemetry import (
     Telemetry,
     get_logger,
 )
-from repro.utils import env_flag
+from repro.utils import batched_mode, env_flag
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
@@ -87,6 +88,51 @@ _WORKER_PROGRESS_QUEUE = None
 def _init_worker(progress_queue) -> None:
     global _WORKER_PROGRESS_QUEUE
     _WORKER_PROGRESS_QUEUE = progress_queue
+
+
+#: Process-wide warm worker pool (see :func:`_shared_pool`).
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+_SHARED_POOL_JOBS = 0
+_SHARED_POOL_ATEXIT = False
+
+
+def _shared_pool(jobs: int) -> ProcessPoolExecutor:
+    """A warm, process-wide pool for non-progress-reporting fan-outs.
+
+    Standing up a ``ProcessPoolExecutor`` costs worker spawn plus the
+    package import chain — whole seconds on small hosts — and a figure
+    harness calls ``collect_records`` once per (mechanism, subwarp-count)
+    cell, so paying that per call made small parallel campaigns *slower*
+    than serial (fig07's 0.93x parallel "speedup" in BENCH_3). Reusing
+    one pool amortizes the spin-up to once per process; workers hold no
+    per-call state (every task payload carries its full context), so the
+    results stay bit-identical.
+
+    Only used when no progress queue is needed: the queue rides in via
+    the pool initializer, so progress-reporting/--serve runs keep their
+    per-call pools, where spin-up is noise against the run length anyway.
+    """
+    global _SHARED_POOL, _SHARED_POOL_JOBS, _SHARED_POOL_ATEXIT
+    if _SHARED_POOL is not None and _SHARED_POOL_JOBS != jobs:
+        _discard_shared_pool()
+    if _SHARED_POOL is None:
+        _SHARED_POOL = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(None,))
+        _SHARED_POOL_JOBS = jobs
+        if not _SHARED_POOL_ATEXIT:
+            atexit.register(_discard_shared_pool)
+            _SHARED_POOL_ATEXIT = True
+    return _SHARED_POOL
+
+
+def _discard_shared_pool() -> None:
+    """Drop the warm pool (broken pool, Ctrl-C, or interpreter exit)."""
+    global _SHARED_POOL, _SHARED_POOL_JOBS
+    pool = _SHARED_POOL
+    _SHARED_POOL = None
+    _SHARED_POOL_JOBS = 0
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 @dataclass(frozen=True)
@@ -280,6 +326,19 @@ def _simulate_chunk(ctx, policy, num_samples, indices, counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=telemetry)
     stream_name = victim_stream_name(policy)
+    if counts_only and faults is None and batched_mode(ctx.batched):
+        # Same engine selection as the serial path; fault plans keep the
+        # per-sample loop so injected failures fire at sample boundaries.
+        from repro.gpu.batched import BatchedCountsCore
+        core = BatchedCountsCore(server)
+        with profiler.span("chunk.simulate"):
+            records = core.encrypt_batch(
+                [plaintexts[index] for index in indices],
+                [ctx.sample_stream(stream_name, index)
+                 for index in indices],
+                on_record=lambda record: progress.update(),
+            )
+        return records, telemetry
     records = []
     with profiler.span("chunk.simulate"):
         for index in indices:
@@ -347,40 +406,57 @@ def collect_records_parallel(
              " (counts only)" if counts_only else "")
     chunks = chunk_indices(num_samples, jobs)
     records: List[EncryptionRecord] = []
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=(queue,)
-    ) as pool, ProgressAggregator(
-        num_samples, queue, label=policy.describe(),
-        enabled=progress_enabled, board=board,
-    ):
-        # "runner.submit" is payload pickling + task hand-off; the first
-        # "runner.wait" additionally covers pool spin-up (worker spawn +
-        # imports), which is why it dwarfs later waits on short runs.
-        with profiler.span("runner.submit"):
-            futures = [
-                pool.submit(_collect_chunk,
-                            (worker_ctx, policy, num_samples, list(chunk),
-                             counts_only, retain_kernel_results,
-                             trace_capacity, profiler.enabled))
-                for chunk in chunks
-            ]
-        # Collect in submission (= sample) order; merge telemetry the
-        # same way so the stitched result equals a serial run's.
-        try:
-            for future in futures:
-                with profiler.span("runner.wait"):
-                    chunk_records, chunk_telemetry = future.result()
-                records.extend(chunk_records)
-                if instrumented:
-                    with profiler.span("runner.merge"):
-                        telemetry.merge(chunk_telemetry)
-        except KeyboardInterrupt:
-            _abort_pool(pool, futures)
-            print(f"\n[interrupted: {len(records)}/{num_samples} samples "
-                  f"collected under {policy.describe()}; partial results "
-                  f"discarded — use --resume to make campaigns "
-                  f"restartable]", file=sys.stderr)
-            raise
+    # No progress queue → the warm process-wide pool can serve this call;
+    # otherwise the queue must ride in via the initializer of a fresh one.
+    warm = queue is None
+    pool = _shared_pool(jobs) if warm else ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(queue,))
+    try:
+        with ProgressAggregator(
+            num_samples, queue, label=policy.describe(),
+            enabled=progress_enabled, board=board,
+        ):
+            # "runner.submit" is payload pickling + task hand-off; the
+            # first "runner.wait" additionally covers pool spin-up
+            # (worker spawn + imports) the first time a pool is used,
+            # which is why it dwarfs later waits on short runs.
+            with profiler.span("runner.submit"):
+                futures = [
+                    pool.submit(_collect_chunk,
+                                (worker_ctx, policy, num_samples,
+                                 list(chunk), counts_only,
+                                 retain_kernel_results, trace_capacity,
+                                 profiler.enabled))
+                    for chunk in chunks
+                ]
+            # Collect in submission (= sample) order; merge telemetry the
+            # same way so the stitched result equals a serial run's.
+            try:
+                for future in futures:
+                    with profiler.span("runner.wait"):
+                        chunk_records, chunk_telemetry = future.result()
+                    records.extend(chunk_records)
+                    if instrumented:
+                        with profiler.span("runner.merge"):
+                            telemetry.merge(chunk_telemetry)
+            except KeyboardInterrupt:
+                _abort_pool(pool, futures)
+                if warm:
+                    _discard_shared_pool()
+                print(f"\n[interrupted: {len(records)}/{num_samples} "
+                      f"samples collected under {policy.describe()}; "
+                      f"partial results discarded — use --resume to make "
+                      f"campaigns restartable]", file=sys.stderr)
+                raise
+    except BrokenProcessPool:
+        # A dead warm pool must not poison later calls; the plain
+        # (unsupervised) path still propagates the crash unchanged.
+        if warm:
+            _discard_shared_pool()
+        raise
+    finally:
+        if not warm:
+            pool.shutdown(wait=True)
 
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
@@ -396,10 +472,12 @@ def collect_records_parallel(
 def _worker_context(ctx: ExperimentContext) -> ExperimentContext:
     """Strip everything a chunk worker must not inherit: the parent's
     telemetry sink, progress reporter, nested parallelism, and the whole
-    resilience layer (supervision happens in the parent only)."""
+    resilience layer (supervision happens in the parent only). Engine
+    selection is pinned to the *parent's* resolution so a warm pool's
+    workers never consult their own (possibly stale) ``REPRO_BATCHED``."""
     return ctx.with_(telemetry=None, progress=False, jobs=1,
                      supervision=None, faults=None, checkpoint=None,
-                     campaign=None)
+                     campaign=None, batched=batched_mode(ctx.batched))
 
 
 def _phase_label(ctx: ExperimentContext, policy: CoalescingPolicy,

@@ -32,7 +32,7 @@ from repro.gpu.partition import MemoryPartition
 from repro.gpu.request import MemoryAccess
 from repro.gpu.scheduler import SchedulerSet
 from repro.gpu.stats import KernelResult, RoundWindow
-from repro.gpu.warp import ComputeInstruction, MemoryInstruction, WarpProgram
+from repro.gpu.warp import ComputeInstruction, WarpProgram
 from repro.telemetry import PID_ICNT, Telemetry, get_logger
 
 __all__ = ["GPUSimulator", "KernelResult", "RoundAwareSidMap"]
@@ -82,22 +82,26 @@ class RoundAwareSidMap:
         return self._per_round.get(round_index, self._default)
 
 
-def _resolve_sid_map(sid_map, round_index: Optional[int]
-                     ) -> Tuple[int, ...]:
-    """The lane->sid vector an instruction coalesces under."""
-    if isinstance(sid_map, RoundAwareSidMap):
-        return sid_map.for_round(round_index)
-    return sid_map
-
-
 @dataclass
 class _WarpState:
-    """Per-warp runtime state."""
+    """Per-warp runtime state.
+
+    ``instructions``, ``scheduler`` and ``round_aware`` duplicate state
+    reachable through ``program``/the SM, resolved once at launch: the
+    warp handler runs once per instruction, so a method call plus a
+    modulo (scheduler lookup) and an isinstance dispatch (sid-map
+    resolution) per event are measurable against the simulator's
+    throughput.
+    """
 
     program: WarpProgram
     sm_id: int
     slot: int
     sid_map: object  # Tuple[int, ...] or RoundAwareSidMap
+    instructions: Sequence[object] = ()
+    scheduler: object = None
+    #: True when ``sid_map`` varies by round (RoundAwareSidMap).
+    round_aware: bool = False
     pc: int = 0
     outstanding: int = 0
     #: True while stalled at a barrier (compute / end) draining loads.
@@ -199,7 +203,10 @@ class GPUSimulator:
                     "too many warps for the configured SM occupancy"
                 )
             warps[program.warp_id] = _WarpState(
-                program=program, sm_id=sm_id, slot=slot, sid_map=sid_map
+                program=program, sm_id=sm_id, slot=slot, sid_map=sid_map,
+                instructions=program.instructions,
+                scheduler=sms[sm_id].schedulers.for_warp(slot),
+                round_aware=isinstance(sid_map, RoundAwareSidMap),
             )
 
         # A 64 B data reply spans multiple flits at the SM's ejection port.
@@ -279,7 +286,7 @@ class GPUSimulator:
 
         def handle_warp(warp_id: int, cycle: int) -> None:
             warp = warps[warp_id]
-            instructions = warp.program.instructions
+            instructions = warp.instructions
             if warp.pc >= len(instructions):
                 if warp.outstanding > 0:
                     warp.waiting = True
@@ -300,7 +307,7 @@ class GPUSimulator:
                 return
             warp.pc += 1
             sm = sms[warp.sm_id]
-            issue = sm.schedulers.for_warp(warp.slot).issue_at(cycle)
+            issue = warp.scheduler.issue_at(cycle)
             round_index = instruction.round_index
 
             if is_compute:
@@ -319,7 +326,7 @@ class GPUSimulator:
                 push(done, "warp", warp_id)
                 return
 
-            assert isinstance(instruction, MemoryInstruction)
+            # Not compute => MemoryInstruction (programs hold nothing else).
             if round_index is not None:
                 key = (warp_id, round_index)
                 window = windows.get(key)
@@ -328,9 +335,14 @@ class GPUSimulator:
                     windows[key] = window
                 window.observe_start(issue)
 
+            # Lane->sid resolution: one flag check instead of an
+            # isinstance dispatch per memory instruction.
+            sid_map = warp.sid_map
+            if warp.round_aware:
+                sid_map = sid_map.for_round(round_index)
             groups = sm.coalescer.coalesce(
                 instruction.addresses,
-                _resolve_sid_map(warp.sid_map, round_index),
+                sid_map,
                 request_size=instruction.request_size,
                 active_mask=instruction.active_mask,
             )
@@ -441,25 +453,107 @@ class GPUSimulator:
         # -- main loop --------------------------------------------------------
         # Tags ordered by event frequency (~1 warp event per instruction vs
         # one inject/arrive/dram/dslot/reply each per coalesced access).
+        #
+        # Two dispatch loops, cycle-for-cycle identical: on the default
+        # machine (no L2/MSHRs) with telemetry off, the per-access handlers
+        # reduce to a few statement bodies, and the function-call overhead
+        # of dispatching ~5 of them per coalesced access is a measurable
+        # slice of simulation time — so the hot loop inlines them. Every
+        # heappush below sits exactly where the handler version pushes it
+        # (push order is behaviour: (cycle, seq) ordering means a reordered
+        # push reorders same-cycle ties and changes FR-FCFS decisions).
+        # The golden engine battery pins both loops to the same digest.
 
-        while events:
-            cycle, _seq, tag, payload = heappop(events)
-            if tag == "inject":
-                handle_inject(payload, cycle)  # type: ignore[arg-type]
-            elif tag == "arrive":
-                partition_id, access = payload  # type: ignore[misc]
-                handle_arrive(partition_id, access, cycle)
-            elif tag == "dram":
-                partition_id, access = payload  # type: ignore[misc]
-                handle_dram(partition_id, access, cycle)
-            elif tag == "dslot":
-                handle_dslot(payload, cycle)  # type: ignore[arg-type]
-            elif tag == "reply":
-                handle_reply(payload, cycle)  # type: ignore[arg-type]
-            elif tag == "warp":
-                handle_warp(payload, cycle)  # type: ignore[arg-type]
-            else:  # pragma: no cover - defensive
-                raise ProtocolError(f"unknown event tag {tag!r}")
+        if fast_memory and tracer is None:
+            while events:
+                cycle, _seq, tag, payload = heappop(events)
+                if tag == "inject":
+                    # handle_inject, inlined.
+                    partition_id = partition_of(payload.address)
+                    arrival = forward_traverse(partition_id, cycle)
+                    heappush(events, (arrival, next_seq(), "arrive",
+                                      (partition_id, payload)))
+                elif tag == "arrive":
+                    # handle_arrive fast path + kick_controller, inlined.
+                    partition_id, access = payload
+                    access.arrival_cycle = cycle
+                    controller = controllers[partition_id]
+                    controller.enqueue(access, decode(access.address),
+                                       cycle)
+                    if not controller.busy:
+                        started = controller.start_next(cycle)
+                        if started is not None:
+                            started_access, completion, next_slot = started
+                            heappush(events,
+                                     (completion, next_seq(), "dram",
+                                      (partition_id, started_access)))
+                            heappush(events, (next_slot, next_seq(),
+                                              "dslot", partition_id))
+                elif tag == "dram":
+                    # handle_dram fast path + complete_access, inlined.
+                    _partition_id, access = payload
+                    access.complete_cycle = cycle
+                    if cycle > last_completion:
+                        last_completion = cycle
+                    if not access.is_write:
+                        reply_cycle = reply_traverse(access.sm_id, cycle,
+                                                     flits=reply_flits)
+                        heappush(events, (reply_cycle, next_seq(),
+                                          "reply", access))
+                elif tag == "dslot":
+                    # handle_dslot + kick_controller, inlined.
+                    controller = controllers[payload]
+                    controller.release()
+                    if not controller.busy:
+                        started = controller.start_next(cycle)
+                        if started is not None:
+                            started_access, completion, next_slot = started
+                            heappush(events,
+                                     (completion, next_seq(), "dram",
+                                      (payload, started_access)))
+                            heappush(events, (next_slot, next_seq(),
+                                              "dslot", payload))
+                elif tag == "reply":
+                    # handle_reply, inlined.
+                    access = payload
+                    warp = warps[access.warp_id]
+                    round_index = access.round_index
+                    if round_index is not None:
+                        window = windows[(access.warp_id, round_index)]
+                        if window.end is None or cycle > window.end:
+                            window.end = cycle
+                    outstanding = warp.outstanding - 1
+                    warp.outstanding = outstanding
+                    if outstanding < 0:
+                        raise ProtocolError(
+                            "reply for a warp with no pending load")
+                    if outstanding == 0 and warp.waiting:
+                        warp.waiting = False
+                        heappush(events, (cycle, next_seq(), "warp",
+                                          access.warp_id))
+                elif tag == "warp":
+                    handle_warp(payload, cycle)  # type: ignore[arg-type]
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"unknown event tag {tag!r}")
+        else:
+            while events:
+                cycle, _seq, tag, payload = heappop(events)
+                if tag == "inject":
+                    handle_inject(payload, cycle)  # type: ignore[arg-type]
+                elif tag == "arrive":
+                    partition_id, access = payload  # type: ignore[misc]
+                    handle_arrive(partition_id, access, cycle)
+                elif tag == "dram":
+                    partition_id, access = payload  # type: ignore[misc]
+                    handle_dram(partition_id, access, cycle)
+                elif tag == "dslot":
+                    handle_dslot(payload, cycle)  # type: ignore[arg-type]
+                elif tag == "reply":
+                    handle_reply(payload, cycle)  # type: ignore[arg-type]
+                elif tag == "warp":
+                    handle_warp(payload, cycle)  # type: ignore[arg-type]
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"unknown event tag {tag!r}")
 
         unfinished = [w for w, s in warps.items() if not s.finished]
         if unfinished:

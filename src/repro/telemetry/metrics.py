@@ -157,6 +157,27 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def observe_many(self, value: Union[int, float], times: int) -> None:
+        """Record ``value`` ``times`` times with one bucket scan.
+
+        State-identical to ``times`` :meth:`observe` calls — the batched
+        collection core feeds precomputed value/multiplicity pairs through
+        here so its snapshots equal a per-instruction loop's.
+        """
+        if times <= 0:
+            return
+        self.count += times
+        self.sum += value * times
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += times
+                return
+        self.counts[-1] += times
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

@@ -16,6 +16,7 @@ __all__ = [
     "env_int",
     "env_flag",
     "fast_mode",
+    "batched_mode",
     "scaled_samples",
     "atomic_write_bytes",
     "atomic_write_text",
@@ -61,6 +62,23 @@ def env_flag(name: str) -> bool:
 def fast_mode() -> bool:
     """True when REPRO_FAST asks experiments to use reduced sample counts."""
     return env_flag("REPRO_FAST")
+
+
+def batched_mode(explicit: "Union[bool, None]" = None) -> bool:
+    """Resolve the collection-engine selection for counts-only phases.
+
+    Priority: an explicit ``ExperimentContext.batched`` /
+    ``--batched/--no-batched`` setting, then the ``REPRO_BATCHED``
+    environment variable, then the default — **on**, since the batched
+    core is checksum-identical to the event engine on every count it
+    produces (regression-proven by the golden parity suite).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("REPRO_BATCHED", "").lower()
+    if raw in {"0", "false", "no", "off"}:
+        return False
+    return True
 
 
 def scaled_samples(paper_count: int, fast_count: int) -> int:

@@ -1,0 +1,65 @@
+"""Vectorized AES batch kernel: parity against the scalar T-table trace."""
+
+import numpy as np
+import pytest
+
+from repro.aes.batch import encrypt_batch, table_id_grid
+from repro.aes.key_schedule import NUM_ROUNDS
+from repro.aes.ttable import LOOKUPS_PER_ROUND, TTableAES
+from repro.errors import BlockSizeError
+from repro.rng import RngStream
+
+
+def _random_lines(num_lines, seed=0):
+    rng = RngStream(seed, "batch-test")
+    return np.frombuffer(rng.random_bytes(num_lines * 16),
+                         dtype=np.uint8).reshape(num_lines, 16).copy()
+
+
+class TestEncryptBatch:
+    @pytest.mark.parametrize("num_lines", [1, 3, 32])
+    def test_ciphertexts_match_scalar(self, num_lines):
+        key = bytes(RngStream(7, "key").random_bytes(16))
+        lines = _random_lines(num_lines, seed=num_lines)
+        ciphertexts, _ = encrypt_batch(key, lines)
+        scalar = TTableAES(key)
+        for n in range(num_lines):
+            trace = scalar.encrypt(lines[n].tobytes())
+            assert ciphertexts[n].tobytes() == trace.ciphertext
+
+    def test_indices_match_the_scalar_lookup_trace(self):
+        key = bytes(RngStream(8, "key").random_bytes(16))
+        lines = _random_lines(5, seed=5)
+        _, indices = encrypt_batch(key, lines)
+        assert indices.shape == (5, NUM_ROUNDS, LOOKUPS_PER_ROUND)
+        scalar = TTableAES(key)
+        for n in range(5):
+            trace = scalar.encrypt(lines[n].tobytes())
+            for r, round_trace in enumerate(trace.rounds):
+                assert tuple(indices[n, r]) == round_trace.indices
+
+    def test_table_id_grid_matches_the_scalar_lookup_tables(self):
+        key = b"\x00" * 16
+        trace = TTableAES(key).encrypt(b"\x01" * 16)
+        grid = table_id_grid()
+        for r, round_trace in enumerate(trace.rounds):
+            scalar_tables = tuple(table for table, _ in round_trace.lookups)
+            assert tuple(grid[r]) == scalar_tables
+
+    def test_different_keys_diverge(self):
+        lines = _random_lines(4)
+        a, _ = encrypt_batch(b"\x00" * 16, lines)
+        b, _ = encrypt_batch(b"\x01" * 16, lines)
+        assert a.tobytes() != b.tobytes()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(BlockSizeError):
+            encrypt_batch(b"\x00" * 16, np.zeros((4, 15), dtype=np.uint8))
+        with pytest.raises(BlockSizeError):
+            encrypt_batch(b"\x00" * 16, np.zeros(16, dtype=np.uint8))
+
+    def test_input_lines_are_not_mutated(self):
+        lines = _random_lines(4)
+        before = lines.copy()
+        encrypt_batch(b"\x2b" * 16, lines)
+        assert np.array_equal(lines, before)

@@ -1,0 +1,101 @@
+"""Timing surrogate: affine counts -> cycles calibration."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.surrogate import TimingSurrogate, fit_surrogate
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.workloads.server import EncryptionRecord
+
+
+def _record(total_accesses, last_round_accesses,
+            total_time=0, last_round_time=0):
+    return EncryptionRecord(
+        ciphertext=b"\x00" * 16,
+        total_time=total_time,
+        last_round_time=last_round_time,
+        total_accesses=total_accesses,
+        last_round_accesses=last_round_accesses,
+        round_accesses={},
+        last_round_byte_accesses=[0] * 16,
+        partitions={},
+    )
+
+
+def _affine_records():
+    # total = 100 + 3*accesses, last = 20 + 2*accesses — exactly affine.
+    return [
+        _record(a, la, total_time=100 + 3 * a, last_round_time=20 + 2 * la)
+        for a, la in [(50, 5), (60, 8), (80, 11), (120, 17)]
+    ]
+
+
+class TestFit:
+    def test_recovers_exact_affine_coefficients(self):
+        surrogate = fit_surrogate(_affine_records())
+        assert surrogate.total_base == pytest.approx(100.0)
+        assert surrogate.total_per_access == pytest.approx(3.0)
+        assert surrogate.last_round_base == pytest.approx(20.0)
+        assert surrogate.last_round_per_access == pytest.approx(2.0)
+        assert surrogate.total_r2 == pytest.approx(1.0)
+        assert surrogate.last_round_r2 == pytest.approx(1.0)
+        assert surrogate.calibration_samples == 4
+
+    def test_rejects_too_few_records(self):
+        with pytest.raises(ConfigurationError):
+            fit_surrogate(_affine_records()[:1])
+
+    def test_rejects_counts_only_records(self):
+        counts_only = [_record(50, 5), _record(60, 8)]
+        with pytest.raises(ConfigurationError) as excinfo:
+            fit_surrogate(counts_only)
+        assert "counts-only" in str(excinfo.value)
+
+
+class TestPredictAndApply:
+    def test_predict_rounds_to_whole_cycles(self):
+        surrogate = fit_surrogate(_affine_records())
+        total, last = surrogate.predict(_record(70, 10))
+        assert (total, last) == (100 + 3 * 70, 20 + 2 * 10)
+        assert isinstance(total, int) and isinstance(last, int)
+
+    def test_apply_fills_copies_and_leaves_originals_untouched(self):
+        surrogate = fit_surrogate(_affine_records())
+        originals = [_record(70, 10), _record(90, 12)]
+        filled = surrogate.apply(originals)
+        assert all(r.total_time == 0 and r.last_round_time == 0
+                   for r in originals)
+        assert [r.total_time for r in filled] == [310, 370]
+        # Only the two time fields change.
+        for before, after in zip(originals, filled):
+            assert dataclasses.replace(
+                after, total_time=0, last_round_time=0) == before
+
+    def test_dict_round_trip(self):
+        surrogate = fit_surrogate(_affine_records())
+        assert TimingSurrogate.from_dict(surrogate.to_dict()) == surrogate
+
+
+class TestOnEngineRecords:
+    def test_near_exact_on_single_warp_launches(self):
+        # Calibrate on a handful of timed event-engine launches, then
+        # check the advertised contract: counts untouched, cycle fit
+        # near-exact for the paper's single-warp timing-attack shape.
+        ctx = ExperimentContext(root_seed=2018, samples=6)
+        policy = make_policy("rss_rts", 8)
+        _, timed = collect_records(ctx, policy, 6)
+        surrogate = fit_surrogate(timed)
+        assert surrogate.total_r2 > 0.99
+        assert surrogate.last_round_r2 > 0.99
+        _, counts = collect_records(ctx.with_(batched=True), policy, 6,
+                                    counts_only=True)
+        filled = surrogate.apply(counts)
+        for approx, exact in zip(filled, timed):
+            assert approx.total_accesses == exact.total_accesses
+            assert approx.total_time == pytest.approx(exact.total_time,
+                                                      rel=0.02)
+            assert approx.last_round_time == pytest.approx(
+                exact.last_round_time, rel=0.02)

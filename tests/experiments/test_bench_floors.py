@@ -1,0 +1,80 @@
+"""Throughput floors gate for ``rcoal bench --check``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+from repro.experiments.bench import check_bench_floors
+
+
+@pytest.fixture
+def report():
+    return {
+        "schema": 1,
+        "workloads": {
+            "timing_kernel": {"sim_cycles_per_second": 300000},
+            "counts_sweep": {"ms_per_sample": 2.4,
+                             "counts_identical": True},
+        },
+    }
+
+
+def _floors_file(tmp_path, floors):
+    path = tmp_path / "floors.json"
+    path.write_text(json.dumps({"schema": 1, "floors": floors}))
+    return str(path)
+
+
+class TestCheckBenchFloors:
+    def test_healthy_report_clears_generous_floors(self, tmp_path, report):
+        path = _floors_file(tmp_path, {
+            "timing_kernel.sim_cycles_per_second": {"min": 100000},
+            "counts_sweep.ms_per_sample": {"max": 15.0},
+            "counts_sweep.counts_identical": {"expect": True},
+        })
+        assert check_bench_floors(report, path) == []
+
+    def test_throughput_below_min_is_flagged(self, tmp_path, report):
+        path = _floors_file(tmp_path, {
+            "timing_kernel.sim_cycles_per_second": {"min": 10 ** 12},
+        })
+        violations = check_bench_floors(report, path)
+        assert len(violations) == 1
+        assert "fell below the floor" in violations[0]
+
+    def test_cost_above_max_is_flagged(self, tmp_path, report):
+        path = _floors_file(tmp_path, {
+            "counts_sweep.ms_per_sample": {"max": 0.001},
+        })
+        violations = check_bench_floors(report, path)
+        assert len(violations) == 1
+        assert "exceeded the ceiling" in violations[0]
+
+    def test_engine_disagreement_is_flagged(self, tmp_path, report):
+        report["workloads"]["counts_sweep"]["counts_identical"] = False
+        path = _floors_file(tmp_path, {
+            "counts_sweep.counts_identical": {"expect": True},
+        })
+        violations = check_bench_floors(report, path)
+        assert len(violations) == 1
+        assert "expected True" in violations[0]
+
+    def test_missing_key_is_a_violation_not_a_skip(self, tmp_path, report):
+        path = _floors_file(tmp_path, {
+            "counts_sweep.renamed_key": {"min": 1},
+            "never_ran.seconds": {"max": 1},
+        })
+        violations = check_bench_floors(report, path)
+        assert len(violations) == 2
+        assert all("not present" in v for v in violations)
+
+    def test_committed_floors_match_the_committed_bench(self):
+        # The repo-level invariant CI relies on: the committed BENCH_4
+        # report clears the committed floors.
+        with open(REPO_ROOT / "BENCH_4.json", encoding="utf-8") as handle:
+            committed = json.load(handle)
+        assert check_bench_floors(
+            committed, str(REPO_ROOT / "BENCH_FLOORS.json")) == []

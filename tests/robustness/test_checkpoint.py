@@ -19,7 +19,8 @@ from repro.gpu.config import GPUConfig
 
 def _fingerprint(**overrides):
     ctx = ExperimentContext(root_seed=overrides.pop("root_seed", 11),
-                            samples=overrides.pop("samples", 8))
+                            samples=overrides.pop("samples", 8),
+                            batched=overrides.pop("batched", None))
     return campaign_fingerprint(overrides.pop("experiment", "fig05"), ctx,
                                 overrides.pop("instrumented", False))
 
@@ -31,6 +32,15 @@ class TestFingerprint:
         assert fingerprint["root_seed"] == 11
         assert fingerprint["samples"] == 8
         assert fingerprint["instrumented"] is False
+
+    def test_engine_selection_is_pinned(self, monkeypatch):
+        # Like --profile, the counts-engine choice is part of the
+        # campaign's identity; only the *resolved* mode matters, so an
+        # explicit --batched equals the default resolution.
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        assert _fingerprint()["batched"] is True
+        assert _fingerprint(batched=False)["batched"] is False
+        assert _fingerprint(batched=True) == _fingerprint()
 
     def test_config_hash_is_stable_and_sensitive(self):
         assert config_hash(None) == "default"
@@ -55,6 +65,7 @@ class TestStoreLifecycle:
         {"samples": 9},
         {"experiment": "fig07"},
         {"instrumented": True},
+        {"batched": False},
     ])
     def test_reopen_with_different_fingerprint_is_a_hard_error(
             self, tmp_path, drift):

@@ -30,6 +30,22 @@ class TestCli:
         assert "unknown experiment" in err
 
 
+class TestEngineSelection:
+    def test_batched_flag_never_changes_stdout(self, capsys):
+        # Observer-effect contract: the counts-engine choice is a pure
+        # performance knob. ablation_selective exercises both counts-only
+        # collection (where the engines differ) and timed collection
+        # (where the flag is ignored), so its full report must be
+        # byte-identical under either engine.
+        argv = ["ablation_selective", "--samples", "3"]
+        assert main(argv + ["--batched"]) == 0
+        batched_out = capsys.readouterr().out
+        assert main(argv + ["--no-batched"]) == 0
+        event_out = capsys.readouterr().out
+        assert "ablation_selective" in batched_out
+        assert batched_out == event_out
+
+
 class TestTelemetryCommands:
     def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
         out = tmp_path / "trace.json"
