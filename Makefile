@@ -2,7 +2,7 @@
 
 .PHONY: install test test-fast bench bench-paper experiments trace \
         profile metrics perf serve attribute check-metrics bench-check \
-        chaos clean
+        status chaos clean
 
 install:
 	pip install -e '.[test]'
@@ -65,6 +65,12 @@ check-metrics:
 # committed BENCH_<n>.json sequence stays curated by hand.
 bench-check:
 	rcoal bench --check BENCH_FLOORS.json --out .bench-check.json
+
+# Campaign progress from the run ledger + checkpoint store; pass the
+# campaign directory as DIR (default ckpt). See
+# docs/observability.md#campaign-observability-rcoal-status.
+status:
+	rcoal status $(or $(DIR),ckpt)
 
 # Fault-injection suite: supervision, checkpoint/resume, crash-safe
 # writes; see docs/robustness.md.

@@ -29,6 +29,14 @@ Resilience (see ``docs/robustness.md``)::
     rcoal all -j 8 --resume runs/all      # per-experiment checkpoints
     rcoal fig07 -j 4 --supervise          # deadlines, retries, quarantine
     rcoal fig07 --supervise --faults raise@3   # deterministic chaos
+
+Campaign status (the run-ledger surface; docs/observability.md)::
+
+    rcoal status runs/f7                  # restored/remaining, latency
+    rcoal status runs/all --json          # machine-readable manifest
+    rcoal status runs/f7 --watch 2        # live, redrawn every 2 s
+    rcoal status runs/f7 --gc             # drop superseded chunks,
+                                          # compact the ledger
 """
 
 from __future__ import annotations
@@ -205,11 +213,17 @@ def _add_serve_argument(parser: argparse.ArgumentParser) -> None:
                              "(see docs/observability.md)")
 
 
-def _start_server(spec: str, telemetry):
-    """Start the --serve sink; prints the dashboard URL to stderr."""
+def _start_server(spec: str, telemetry, campaign_dir=None):
+    """Start the --serve sink; prints the dashboard URL to stderr.
+
+    ``campaign_dir`` (the run's ``--resume`` directory, when it has one)
+    lights up the ``/campaign`` endpoint and the ledger-staleness check
+    in ``/health``.
+    """
     from repro.telemetry.serve import TelemetryServer, parse_serve_spec
     host, port = parse_serve_spec(spec)
-    server = TelemetryServer(telemetry, host=host, port=port).start()
+    server = TelemetryServer(telemetry, host=host, port=port,
+                             campaign_dir=campaign_dir).start()
     print(f"[serving live telemetry at {server.url}]", file=sys.stderr)
     return server
 
@@ -302,7 +316,8 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
         from repro.telemetry import ProgressBoard
         telemetry = Telemetry(trace_capacity=capacity,
                               board=ProgressBoard(), profile=args.profile)
-        server = _start_server(args.serve, telemetry)
+        server = _start_server(args.serve, telemetry,
+                               campaign_dir=args.resume)
     else:
         telemetry = Telemetry(trace_capacity=capacity,
                               profile=args.profile)
@@ -412,7 +427,7 @@ def _run_serve_command(argv: List[str]) -> int:
 
     telemetry = Telemetry(trace_capacity=args.capacity,
                           board=ProgressBoard(), profile=args.profile)
-    server = _start_server(args.port, telemetry)
+    server = _start_server(args.port, telemetry, campaign_dir=args.resume)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, batched=args.batched,
@@ -647,6 +662,75 @@ def _run_bench_command(argv: List[str]) -> int:
     return 0
 
 
+def _build_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal status",
+        description="Report a checkpoint campaign's state from its run "
+                    "ledger (events.jsonl) and chunk files: restored / "
+                    "remaining samples per phase, chunk latency "
+                    "percentiles, retries and quarantines. Works on a "
+                    "single --resume directory or an 'all' campaign "
+                    "root; reads the same ground truth a --resume acts "
+                    "on, so the numbers match what a rerun would skip.",
+    )
+    parser.add_argument("dir", metavar="DIR",
+                        help="the campaign's --resume directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full manifest as stable JSON "
+                             "instead of the table")
+    parser.add_argument("--watch", type=float, metavar="SECONDS",
+                        default=None,
+                        help="redraw every SECONDS until Ctrl-C")
+    parser.add_argument("--gc", action="store_true",
+                        help="first garbage-collect the campaign: delete "
+                             "chunk files fully covered by other chunks "
+                             "(resumed output stays byte-identical) and "
+                             "compact the ledger to lifecycle events "
+                             "plus per-phase summaries")
+    parser.add_argument("--stall-seconds", type=float, metavar="N",
+                        default=30.0,
+                        help="report 'stalled' when a phase is open but "
+                             "the ledger has been silent for N seconds "
+                             "(default 30)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="enable repro.* logging on stderr")
+    return parser
+
+
+def _run_status_command(argv: List[str]) -> int:
+    args = _build_status_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    from repro.experiments.manifest import (
+        campaign_manifest,
+        gc_campaign,
+        render_manifest,
+    )
+    if args.gc:
+        stats = gc_campaign(args.dir)
+        print(f"[gc: removed {stats['removed_chunks']} superseded "
+              f"chunk(s), kept {stats['kept_chunks']}; ledger compacted "
+              f"{stats['events_before']} -> {stats['events_after']} "
+              f"event(s)]", file=sys.stderr)
+
+    def render_once() -> None:
+        manifest = campaign_manifest(args.dir,
+                                     stall_after=args.stall_seconds)
+        if args.json:
+            from repro.telemetry.metrics import stable_json
+            print(stable_json(manifest))
+        else:
+            print(render_manifest(manifest))
+        sys.stdout.flush()
+
+    if args.watch is None:
+        render_once()
+        return EXIT_OK
+    # Ctrl-C lands in main(), which maps it to the documented 130.
+    while True:
+        render_once()
+        time.sleep(max(0.1, args.watch))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: dispatch, then map failures to documented codes."""
     try:
@@ -673,6 +757,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _run_profile_command(argv[1:])
     if argv and argv[0] == "bench":
         return _run_bench_command(argv[1:])
+    if argv and argv[0] == "status":
+        return _run_status_command(argv[1:])
 
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)
@@ -688,7 +774,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     if args.serve:
         from repro.telemetry import ProgressBoard
         telemetry = Telemetry(board=ProgressBoard(), profile=args.profile)
-        server = _start_server(args.serve, telemetry)
+        server = _start_server(args.serve, telemetry,
+                               campaign_dir=args.resume)
     elif args.profile:
         telemetry = Telemetry(profile=True)
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
@@ -697,6 +784,15 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                             **_resilience_fields(args))
 
     multiple = len(ids) > 1
+    # An `all --resume` campaign gets a root-level ledger over the
+    # per-experiment run dirs: experiment start/finish marks written by
+    # the parent (the per-phase detail lives in each run dir's own
+    # ledger). `rcoal status <root>` folds both levels.
+    campaign_journal = None
+    if args.resume and multiple:
+        from repro.telemetry.journal import JOURNAL_NAME, RunJournal
+        campaign_journal = RunJournal(
+            os.path.join(args.resume, JOURNAL_NAME))
 
     def _emit(experiment_id: str, result, seconds: float) -> None:
         print(result.render())
@@ -745,6 +841,10 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                         checkpoint_dir=args.resume), 1):
                 if ctx.campaign is not None:
                     ctx.campaign.absorb(worker_stats)
+                if campaign_journal is not None:
+                    campaign_journal.append(
+                        "experiment_finish", experiment=experiment_id,
+                        seconds=round(seconds, 6))
                 _emit(experiment_id, result, seconds)
                 _publish_batch(done)
             return _finish_campaign(ctx.campaign)
@@ -755,9 +855,17 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 run_ctx = ctx.with_(checkpoint=_open_store(
                     args.resume, experiment_id, ctx, multiple=multiple,
                     instrumented=telemetry is not None))
+            if campaign_journal is not None:
+                campaign_journal.append("experiment_start",
+                                        experiment=experiment_id)
             start = time.time()
             result = run_experiment(experiment_id, run_ctx)
-            _emit(experiment_id, result, time.time() - start)
+            seconds = time.time() - start
+            if campaign_journal is not None:
+                campaign_journal.append("experiment_finish",
+                                        experiment=experiment_id,
+                                        seconds=round(seconds, 6))
+            _emit(experiment_id, result, seconds)
             _publish_batch(done)
         return _finish_campaign(ctx.campaign)
     finally:

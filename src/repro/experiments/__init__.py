@@ -8,11 +8,21 @@ the ASCII rendering.
 """
 
 from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.experiments.manifest import (
+    campaign_health,
+    campaign_manifest,
+    gc_campaign,
+    render_manifest,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 
 __all__ = [
     "ExperimentContext",
     "ExperimentResult",
+    "campaign_health",
+    "campaign_manifest",
+    "gc_campaign",
+    "render_manifest",
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",

@@ -18,6 +18,7 @@ default to the paper's and honor ``REPRO_SAMPLES`` / ``REPRO_FAST``.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -95,6 +96,11 @@ class ExperimentContext:
     #: the resilient runner reports retries/quarantines into; read by the
     #: CLI after the run for the exit code and the stderr summary.
     campaign: Optional[object] = None
+    #: Optional persistent run ledger (``repro.telemetry.journal
+    #: .RunJournal``): phase/chunk/engine events append to the campaign
+    #: directory's ``events.jsonl``. None (the default) records nothing;
+    #: resilient runs fall back to their checkpoint store's journal.
+    journal: Optional[object] = None
 
     def sample_count(self, paper: int = 100, fast: int = 40) -> int:
         if self.samples is not None:
@@ -210,6 +216,21 @@ def collect_records(
         )
     profiler = (ctx.telemetry.profiler if ctx.telemetry is not None
                 and ctx.telemetry.enabled else SpanProfiler.disabled())
+    batched = counts_only and batched_mode(ctx.batched)
+    journal = label = None
+    if ctx.journal is not None and ctx.journal.enabled:
+        from repro.experiments.checkpoint import phase_label
+        journal = ctx.journal
+        label = phase_label(ctx, policy, num_samples, counts_only,
+                            retain_kernel_results)
+        engine = "batched" if batched else "event"
+        journal.append("phase_start", phase=label,
+                       policy=policy.describe(), samples=num_samples,
+                       jobs=1, mode="serial", engine=engine,
+                       counts_only=counts_only)
+        if counts_only:
+            journal.append("engine_select", phase=label, engine=engine)
+    phase_started = time.perf_counter()
     with profiler.span("serial.workload"):
         plaintexts = random_plaintexts(num_samples, ctx.lines,
                                        ctx.stream("workload"))
@@ -224,7 +245,7 @@ def collect_records(
         board=ctx.telemetry.board if ctx.telemetry is not None else None,
     )
     stream_name = victim_stream_name(policy)
-    if counts_only and batched_mode(ctx.batched):
+    if batched:
         from repro.gpu.batched import BatchedCountsCore
         core = BatchedCountsCore(server)
         with profiler.span("serial.simulate"):
@@ -235,15 +256,20 @@ def collect_records(
                 on_record=lambda record: reporter.update(),
             )
         reporter.finish()
-        return server, records
-    records = []
-    with profiler.span("serial.simulate"):
-        for index, plaintext in enumerate(plaintexts):
-            records.append(server.encrypt(
-                plaintext, rng=ctx.sample_stream(stream_name, index)
-            ))
-            reporter.update()
-    reporter.finish()
+    else:
+        records = []
+        with profiler.span("serial.simulate"):
+            for index, plaintext in enumerate(plaintexts):
+                records.append(server.encrypt(
+                    plaintext, rng=ctx.sample_stream(stream_name, index)
+                ))
+                reporter.update()
+        reporter.finish()
+    if journal is not None:
+        journal.append(
+            "phase_finish", phase=label, samples=num_samples,
+            completed=len(records),
+            seconds=round(time.perf_counter() - phase_started, 6))
     return server, records
 
 

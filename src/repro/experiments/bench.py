@@ -178,6 +178,48 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
         "counts_identical": batched_records == event_records,
     }
 
+    # -- run-ledger (events.jsonl) overhead ------------------------------
+    # Two numbers: raw fsync'd append throughput (every ledger write is
+    # flush + fsync, so this is disk-bound by design), and the same
+    # counts collection as above rerun with a live journal so the
+    # phase-event cost relative to the unledgered run (counts_sweep's
+    # batched `seconds`) is on record. A fresh temp dir per call keeps
+    # repeats from appending to (or resuming) each other's ledgers.
+    import tempfile
+
+    from repro.telemetry.journal import RunJournal
+
+    appends = 512
+    log.info("bench: journal_overhead (%d appends)", appends)
+
+    def _append_burst():
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = RunJournal(os.path.join(tmp, "events.jsonl"))
+            for index in range(appends):
+                journal.append("bench_tick", index=index)
+
+    append_seconds, _ = _best_of(_append_burst, repeat)
+
+    def _ledgered_sweep():
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = RunJournal(os.path.join(tmp, "events.jsonl"))
+            return collect_records(
+                ctx.with_(batched=True, journal=journal), policy,
+                COUNTS_SAMPLES, counts_only=True)
+
+    ledger_seconds, _ = _best_of(_ledgered_sweep, repeat)
+    workloads["journal_overhead"] = {
+        "description": "run-ledger cost: fsync'd append throughput, and "
+                       "counts_sweep rerun with phase events journaled "
+                       "(vs its unledgered seconds)",
+        "appends": appends,
+        "append_seconds": round(append_seconds, 4),
+        "appends_per_second": round(appends / append_seconds),
+        "seconds": round(ledger_seconds, 4),
+        "seconds_off": round(seconds, 4),
+        "overhead_ratio": round(ledger_seconds / seconds, 2),
+    }
+
     # -- one full experiment harness -------------------------------------
     from repro.experiments.registry import run_experiment
     serial_ctx = ExperimentContext(
@@ -275,7 +317,8 @@ def render_report(report: Dict[str, object]) -> str:
         for key in ("ms_per_launch", "ms_per_sample",
                     "sim_cycles_per_second", "speedup_vs_serial",
                     "event_ms_per_sample", "speedup_vs_event",
-                    "counts_identical", "overhead_ratio"):
+                    "counts_identical", "overhead_ratio",
+                    "appends_per_second"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  ".join(parts))

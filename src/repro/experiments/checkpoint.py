@@ -12,6 +12,7 @@ Layout of a run directory::
 
     <run_dir>/
       manifest.json                  # campaign fingerprint (atomic write)
+      events.jsonl                   # append-only run ledger (RunJournal)
       phases/<slug>-<hash>/          # one dir per collect_records phase
         chunk-00000-00003.pkl        # records (+ telemetry) for samples 0-3
       failed_samples.json            # quarantine report, when any (atomic)
@@ -43,11 +44,12 @@ import pickle
 import re
 from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CheckpointMismatchError
 from repro.telemetry import Telemetry, get_logger
 from repro.telemetry.baseline import compare_snapshots
+from repro.telemetry.journal import JOURNAL_NAME, RunJournal
 from repro.telemetry.metrics import stable_json
 from repro.utils import atomic_write_bytes, atomic_write_text, batched_mode
 
@@ -56,12 +58,18 @@ __all__ = [
     "ChunkResult",
     "CheckpointStore",
     "campaign_fingerprint",
+    "chunk_spans",
     "config_hash",
+    "phase_dir_name",
+    "phase_label",
 ]
 
 log = get_logger(__name__)
 
 CHECKPOINT_FORMAT = 1
+
+#: Chunk file names encode their sample span: ``chunk-SSSSS-EEEEE.pkl``.
+_CHUNK_NAME = re.compile(r"chunk-(\d+)-(\d+)\.pkl")
 
 
 def config_hash(config) -> str:
@@ -122,6 +130,44 @@ def _phase_slug(label: str) -> str:
     return re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-") or "phase"
 
 
+def phase_dir_name(label: str) -> str:
+    """The on-disk directory name of one phase (slug + stable hash)."""
+    digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
+    return f"{_phase_slug(label)}-{digest}"
+
+
+def phase_label(ctx, policy, num_samples: int, counts_only: bool,
+                retain_kernel_results: bool) -> str:
+    """Checkpoint phase identity: everything that shapes this phase's
+    records beyond the campaign-level fingerprint. Shared by the serial,
+    parallel, and resilient collection paths and by the run ledger, so
+    one phase has one name everywhere."""
+    return (f"{policy.describe()}|n={num_samples}"
+            f"|counts={int(counts_only)}"
+            f"|retain={int(retain_kernel_results)}"
+            f"|lines={ctx.lines}|cfg={config_hash(ctx.config)}")
+
+
+def chunk_spans(directory: Union[str, Path]) -> List[Tuple[int, int]]:
+    """Sample spans recorded in a phase directory, from file names alone.
+
+    ``chunk-00008-00011.pkl`` → ``(8, 11)``. Parsing names instead of
+    unpickling lets the manifest aggregator count completed samples for
+    a campaign without loading its (potentially huge) telemetry; the
+    spans are trustworthy because chunk files are written atomically —
+    a name either denotes a complete chunk or doesn't exist.
+    """
+    directory = Path(directory)
+    spans: List[Tuple[int, int]] = []
+    if not directory.is_dir():
+        return spans
+    for name in sorted(os.listdir(directory)):
+        match = _CHUNK_NAME.fullmatch(name)
+        if match:
+            spans.append((int(match.group(1)), int(match.group(2))))
+    return spans
+
+
 class CheckpointStore:
     """Persistence for one campaign's completed per-sample results.
 
@@ -134,6 +180,10 @@ class CheckpointStore:
     def __init__(self, run_dir, fingerprint: dict):
         self.run_dir = Path(run_dir)
         self.fingerprint = fingerprint
+        #: The campaign's run ledger, living next to the manifest. Other
+        #: layers (the resilient runner, the CLI) append through this —
+        #: the store's own events are ``campaign_open``/``checkpoint_save``.
+        self.journal = RunJournal(self.run_dir / JOURNAL_NAME)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -147,7 +197,8 @@ class CheckpointStore:
         """
         run_dir = Path(run_dir)
         manifest = run_dir / "manifest.json"
-        if manifest.exists():
+        resumed = manifest.exists()
+        if resumed:
             with open(manifest, "r", encoding="utf-8") as handle:
                 stored = json.load(handle)
             drifts = compare_snapshots(stored, fingerprint,
@@ -165,13 +216,16 @@ class CheckpointStore:
             run_dir.mkdir(parents=True, exist_ok=True)
             atomic_write_text(manifest, stable_json(fingerprint) + "\n")
             log.info("started campaign checkpoint at %s", run_dir)
-        return cls(run_dir, fingerprint)
+        store = cls(run_dir, fingerprint)
+        store.journal.append("campaign_open",
+                             experiment=fingerprint.get("experiment"),
+                             resumed=resumed)
+        return store
 
     # -- phases ---------------------------------------------------------------
 
     def phase_dir(self, label: str, make: bool = False) -> Path:
-        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
-        path = self.run_dir / "phases" / f"{_phase_slug(label)}-{digest}"
+        path = self.run_dir / "phases" / phase_dir_name(label)
         if make:
             path.mkdir(parents=True, exist_ok=True)
         return path
@@ -206,12 +260,21 @@ class CheckpointStore:
         return {index for chunk in self.load_chunks(label)
                 for index in chunk.indices}
 
+    def completed_spans(self, label: str) -> List[Tuple[int, int]]:
+        """Persisted sample spans of a phase, from file names alone —
+        the cheap (no-unpickle) census the manifest aggregator uses."""
+        return chunk_spans(self.phase_dir(label))
+
     def save_chunk(self, label: str, chunk: ChunkResult) -> Path:
         """Persist one completed chunk, atomically."""
         directory = self.phase_dir(label, make=True)
         path = directory / (f"chunk-{chunk.indices[0]:05d}-"
                             f"{chunk.indices[-1]:05d}.pkl")
-        return atomic_write_bytes(path, pickle.dumps(chunk, protocol=4))
+        written = atomic_write_bytes(path, pickle.dumps(chunk, protocol=4))
+        self.journal.append("checkpoint_save", phase=label,
+                            start=chunk.indices[0], end=chunk.indices[-1],
+                            samples=len(chunk.indices))
+        return written
 
     # -- quarantine report ----------------------------------------------------
 

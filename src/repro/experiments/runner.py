@@ -56,7 +56,7 @@ from repro.experiments.base import (
     build_server,
     victim_stream_name,
 )
-from repro.experiments.checkpoint import ChunkResult, config_hash
+from repro.experiments.checkpoint import ChunkResult, phase_label
 from repro.telemetry import (
     ProgressAggregator,
     ProgressReporter,
@@ -65,6 +65,7 @@ from repro.telemetry import (
     Telemetry,
     get_logger,
 )
+from repro.telemetry.journal import RunJournal
 from repro.utils import batched_mode, env_flag
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
@@ -393,6 +394,20 @@ def collect_records_parallel(
     profiler = (telemetry.profiler if instrumented
                 else SpanProfiler.disabled())
     worker_ctx = _worker_context(ctx)
+    journal = _phase_journal(ctx)
+    label = None
+    if journal.enabled:
+        label = phase_label(ctx, policy, num_samples, counts_only,
+                            retain_kernel_results)
+        engine = ("batched" if counts_only and batched_mode(ctx.batched)
+                  else "event")
+        journal.append("phase_start", phase=label,
+                       policy=policy.describe(), samples=num_samples,
+                       jobs=jobs, mode="parallel", engine=engine,
+                       counts_only=counts_only)
+        if counts_only:
+            journal.append("engine_select", phase=label, engine=engine)
+    phase_started = time.perf_counter()
 
     progress_enabled = ctx.progress or env_flag("REPRO_PROGRESS")
     board = telemetry.board if instrumented else None
@@ -429,12 +444,25 @@ def collect_records_parallel(
                                  profiler.enabled))
                     for chunk in chunks
                 ]
+            if journal.enabled:
+                for chunk in chunks:
+                    journal.append("chunk_dispatch", phase=label,
+                                   start=chunk[0], end=chunk[-1],
+                                   samples=len(chunk), attempt=0)
             # Collect in submission (= sample) order; merge telemetry the
             # same way so the stitched result equals a serial run's.
             try:
-                for future in futures:
+                for future, chunk in zip(futures, chunks):
                     with profiler.span("runner.wait"):
                         chunk_records, chunk_telemetry = future.result()
+                    if journal.enabled:
+                        # Completion latency since the fan-out started —
+                        # an upper bound on the chunk's own wall time.
+                        journal.append(
+                            "chunk_done", phase=label, start=chunk[0],
+                            end=chunk[-1], samples=len(chunk),
+                            seconds=round(
+                                time.perf_counter() - phase_started, 6))
                     records.extend(chunk_records)
                     if instrumented:
                         with profiler.span("runner.merge"):
@@ -458,6 +486,11 @@ def collect_records_parallel(
         if not warm:
             pool.shutdown(wait=True)
 
+    if journal.enabled:
+        journal.append(
+            "phase_finish", phase=label, samples=num_samples,
+            completed=len(records),
+            seconds=round(time.perf_counter() - phase_started, 6))
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=telemetry)
@@ -474,21 +507,25 @@ def _worker_context(ctx: ExperimentContext) -> ExperimentContext:
     telemetry sink, progress reporter, nested parallelism, and the whole
     resilience layer (supervision happens in the parent only). Engine
     selection is pinned to the *parent's* resolution so a warm pool's
-    workers never consult their own (possibly stale) ``REPRO_BATCHED``."""
+    workers never consult their own (possibly stale) ``REPRO_BATCHED``.
+    The run ledger is parent-side too: chunk events are emitted where the
+    supervisor sees them, so one ledger file has one writer per process
+    tree level."""
     return ctx.with_(telemetry=None, progress=False, jobs=1,
                      supervision=None, faults=None, checkpoint=None,
-                     campaign=None, batched=batched_mode(ctx.batched))
+                     campaign=None, journal=None,
+                     batched=batched_mode(ctx.batched))
 
 
-def _phase_label(ctx: ExperimentContext, policy: CoalescingPolicy,
-                 num_samples: int, counts_only: bool,
-                 retain_kernel_results: bool) -> str:
-    """Checkpoint phase identity: everything that shapes this phase's
-    records beyond the campaign-level fingerprint."""
-    return (f"{policy.describe()}|n={num_samples}"
-            f"|counts={int(counts_only)}"
-            f"|retain={int(retain_kernel_results)}"
-            f"|lines={ctx.lines}|cfg={config_hash(ctx.config)}")
+def _phase_journal(ctx: ExperimentContext) -> RunJournal:
+    """The ledger a collection phase should append to: an explicit
+    ``ctx.journal`` wins, then the checkpoint store's, then the no-op."""
+    if ctx.journal is not None:
+        return ctx.journal
+    store = ctx.checkpoint
+    if store is not None and getattr(store, "journal", None) is not None:
+        return store.journal
+    return RunJournal.disabled()
 
 
 def _note_incident(board, kind: str) -> None:
@@ -507,13 +544,15 @@ class _PhaseSupervisor:
 
     def __init__(self, sup: Optional[SupervisionPolicy],
                  campaign: CampaignStats, board, label: str,
-                 save) -> None:
+                 save, journal: Optional[RunJournal] = None) -> None:
         self.sup = sup or SupervisionPolicy()
         self.supervised = sup is not None
         self.campaign = campaign
         self.board = board
         self.label = label
         self._save = save
+        self.journal = journal if journal is not None \
+            else RunJournal.disabled()
         self.results: Dict[int, ChunkResult] = {}
         self.failed: Dict[int, str] = {}
 
@@ -538,6 +577,10 @@ class _PhaseSupervisor:
             pending.append((indices, next_attempt))
             self.campaign.retries += 1
             _note_incident(self.board, "retry")
+            self.journal.append("chunk_retry", phase=self.label,
+                                start=indices[0], end=indices[-1],
+                                attempt=next_attempt,
+                                error=f"{type(exc).__name__}: {exc}")
             log.warning("retrying samples %d-%d of %s (attempt %d/%d): %s",
                         indices[0], indices[-1], self.label, next_attempt,
                         self.sup.max_attempts, exc)
@@ -548,6 +591,9 @@ class _PhaseSupervisor:
             pending.append((indices[mid:], 0))
             self.campaign.splits += 1
             _note_incident(self.board, "split")
+            self.journal.append("chunk_split", phase=self.label,
+                                start=indices[0], end=indices[-1],
+                                at=indices[mid])
             log.warning("splitting failing chunk %d-%d of %s to isolate "
                         "the poison sample", indices[0], indices[-1],
                         self.label)
@@ -559,6 +605,8 @@ class _PhaseSupervisor:
             {"phase": self.label, "sample": index, "error": reason}
         )
         _note_incident(self.board, "quarantined")
+        self.journal.append("chunk_quarantine", phase=self.label,
+                            sample=index, error=reason)
         log.error("quarantining sample %d of %s after %d attempts: %s",
                   index, self.label, self.sup.max_attempts, reason)
         return 0.0
@@ -570,8 +618,13 @@ def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
                        reporter, profile: bool = False) -> None:
     """In-process work loop: the serial resilient path, also the
     degraded-mode fallback when the pool keeps dying."""
+    journal = supervisor.journal
     while pending:
         indices, attempt = pending.popleft()
+        journal.append("chunk_dispatch", phase=supervisor.label,
+                       start=indices[0], end=indices[-1],
+                       samples=len(indices), attempt=attempt)
+        chunk_started = time.perf_counter()
         try:
             records, telemetry = _simulate_chunk(
                 worker_ctx, policy, num_samples, indices, counts_only,
@@ -587,6 +640,11 @@ def _run_chunks_serial(supervisor: _PhaseSupervisor, pending: deque,
             if delay > 0:
                 time.sleep(delay)
             continue
+        journal.append("chunk_done", phase=supervisor.label,
+                       start=indices[0], end=indices[-1],
+                       samples=len(indices),
+                       seconds=round(
+                           time.perf_counter() - chunk_started, 6))
         supervisor.complete(indices, records, telemetry)
 
 
@@ -609,6 +667,7 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
     """
     sup = supervisor.sup
     campaign = supervisor.campaign
+    journal = supervisor.journal
     deadline = sup.chunk_deadline if supervisor.supervised else None
     profiler = profiler if profiler is not None else SpanProfiler.disabled()
     pool: Optional[ProcessPoolExecutor] = None
@@ -618,6 +677,8 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
             if restarts > sup.max_pool_restarts:
                 campaign.degraded_serial = True
                 _note_incident(supervisor.board, "degraded-serial")
+                journal.append("degraded_serial", phase=supervisor.label,
+                               restarts=restarts)
                 log.warning("%s: pool died %d times; degrading to "
                             "in-process serial execution",
                             supervisor.label, restarts)
@@ -646,6 +707,12 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                      indices, attempt)
                     for indices, attempt in round_items
                 ]
+            if journal.enabled:
+                for indices, attempt in round_items:
+                    journal.append("chunk_dispatch", phase=supervisor.label,
+                                   start=indices[0], end=indices[-1],
+                                   samples=len(indices), attempt=attempt)
+            round_started = time.perf_counter()
             pool_dead = False
             max_delay = 0.0
             for future, indices, attempt in futures:
@@ -666,7 +733,14 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                             salvaged = True
                         except Exception:
                             pass
-                    if not salvaged:
+                    if salvaged:
+                        journal.append(
+                            "chunk_done", phase=supervisor.label,
+                            start=indices[0], end=indices[-1],
+                            samples=len(indices),
+                            seconds=round(
+                                time.perf_counter() - round_started, 6))
+                    else:
                         future.cancel()
                         pending.append((indices, attempt + 1))
                     continue
@@ -674,10 +748,19 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                     with profiler.span("runner.wait"):
                         records, telemetry = future.result(timeout=deadline)
                     supervisor.complete(indices, records, telemetry)
+                    journal.append(
+                        "chunk_done", phase=supervisor.label,
+                        start=indices[0], end=indices[-1],
+                        samples=len(indices),
+                        seconds=round(
+                            time.perf_counter() - round_started, 6))
                 except FuturesTimeoutError:
                     campaign.timeouts += 1
                     campaign.pool_restarts += 1
                     _note_incident(supervisor.board, "timeout")
+                    journal.append("pool_restart", phase=supervisor.label,
+                                   reason="timeout", start=indices[0],
+                                   end=indices[-1])
                     log.warning("samples %d-%d of %s exceeded the %.1fs "
                                 "chunk deadline; reaping the pool",
                                 indices[0], indices[-1], supervisor.label,
@@ -697,6 +780,9 @@ def _run_chunks_pool(supervisor: _PhaseSupervisor, pending: deque,
                 except BrokenProcessPool as exc:
                     campaign.crashes += 1
                     _note_incident(supervisor.board, "worker-killed")
+                    journal.append("pool_restart", phase=supervisor.label,
+                                   reason="worker-died", start=indices[0],
+                                   end=indices[-1])
                     log.warning("worker process died while running samples "
                                 "%d-%d of %s", indices[0], indices[-1],
                                 supervisor.label)
@@ -764,15 +850,28 @@ def collect_records_resilient(
     profiler = (telemetry.profiler if instrumented
                 else SpanProfiler.disabled())
     worker_ctx = _worker_context(ctx)
-    label = _phase_label(ctx, policy, num_samples, counts_only,
-                         retain_kernel_results)
+    label = phase_label(ctx, policy, num_samples, counts_only,
+                        retain_kernel_results)
+    journal = _phase_journal(ctx)
 
     with profiler.span("checkpoint.load"):
         stored = store.load_chunks(label) if store is not None else []
     completed = {index for chunk in stored for index in chunk.indices}
     missing = [i for i in range(num_samples) if i not in completed]
+    jobs = min(ctx.effective_jobs(), max(1, len(missing)))
+    engine = ("batched" if counts_only and faults is None
+              and batched_mode(ctx.batched) else "event")
+    journal.append("phase_start", phase=label, policy=policy.describe(),
+                   samples=num_samples, restored=len(completed),
+                   jobs=jobs, mode="resilient", engine=engine,
+                   counts_only=counts_only, supervised=sup is not None)
+    if counts_only:
+        journal.append("engine_select", phase=label, engine=engine)
+    phase_started = time.perf_counter()
     if stored:
         campaign.resumed_samples += num_samples - len(missing)
+        journal.append("checkpoint_restore", phase=label,
+                       restored=len(completed), chunks=len(stored))
         print(f"[resume: {num_samples - len(missing)}/{num_samples} "
               f"samples of {policy.describe()} restored from "
               f"{store.describe()}]", file=sys.stderr)
@@ -784,7 +883,8 @@ def collect_records_resilient(
     else:
         def save(chunk):
             return None
-    supervisor = _PhaseSupervisor(sup, campaign, board, label, save)
+    supervisor = _PhaseSupervisor(sup, campaign, board, label, save,
+                                  journal=journal)
     for chunk in stored:
         supervisor.results[chunk.start] = chunk
 
@@ -857,6 +957,11 @@ def collect_records_resilient(
             with profiler.span("runner.merge"):
                 telemetry.merge(chunk.telemetry)
 
+    journal.append(
+        "phase_finish", phase=label, samples=num_samples,
+        completed=len(records), restored=len(completed),
+        quarantined=len(supervisor.failed),
+        seconds=round(time.perf_counter() - phase_started, 6))
     server = build_server(ctx, policy, counts_only=counts_only,
                           retain_kernel_results=retain_kernel_results,
                           telemetry=telemetry)
@@ -909,7 +1014,7 @@ def run_experiments_parallel(
     per-experiment checkpoint store under ``<dir>/<experiment_id>``.
     """
     worker_ctx = ctx.with_(telemetry=None, progress=False, jobs=1,
-                           checkpoint=None, campaign=None)
+                           checkpoint=None, campaign=None, journal=None)
     with ProcessPoolExecutor(
         max_workers=max(1, min(jobs, len(experiment_ids)))
     ) as pool:

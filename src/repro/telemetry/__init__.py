@@ -21,6 +21,8 @@ catalogue and trace schema.
 """
 
 from repro.telemetry.core import Telemetry
+from repro.telemetry.journal import (RunJournal, events_since,
+                                     last_event, read_journal)
 from repro.telemetry.log import configure_logging, get_logger
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
@@ -64,6 +66,10 @@ __all__ = [
     "ProgressAggregator",
     "ProgressBoard",
     "QueueProgress",
+    "RunJournal",
+    "events_since",
+    "last_event",
+    "read_journal",
     "TelemetryServer",
     "stable_json",
     "get_logger",

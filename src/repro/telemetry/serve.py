@@ -17,6 +17,11 @@ as JSON while the simulation is still running:
   :class:`~repro.telemetry.progress.ProgressBoard`;
 * ``GET /profile``  — wall-clock span aggregates (when the run profiles)
   plus live cost-center counter totals;
+* ``GET /campaign`` — the aggregated campaign manifest (restored /
+  remaining counts, chunk latency percentiles) for the run's ``--resume``
+  directory, plus an incremental ledger drain following the ``/trace``
+  cursor contract (``?since=<seq>&limit=<n>``); ``available: false``
+  when the run has no campaign directory;
 * ``GET /``         — a self-contained HTML dashboard polling the above.
 
 The server runs on a daemon thread and never touches the simulator: every
@@ -32,6 +37,7 @@ import threading
 import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
@@ -150,6 +156,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self._server().trace_since(since, limit))
         elif route == "/progress":
             self._send_json(200, self._server().progress())
+        elif route == "/campaign":
+            query = parse_qs(parsed.query)
+            since = _int_param(query, "since", 0)
+            limit = _int_param(query, "limit", DEFAULT_TRACE_LIMIT)
+            self._send_json(200, self._server().campaign(since, limit))
         else:
             self._send_json(404, {"error": f"unknown endpoint {route!r}"})
 
@@ -198,12 +209,19 @@ class TelemetryServer:
     def __init__(self, telemetry: Telemetry, host: str = "127.0.0.1",
                  port: int = 8000,
                  history_capacity: int = DEFAULT_HISTORY_CAPACITY,
-                 sample_interval: float = 1.0):
+                 sample_interval: float = 1.0,
+                 campaign_dir: Optional[str] = None,
+                 stall_after: float = 30.0):
         if not telemetry.enabled:
             raise ConfigurationError(
                 "cannot serve a disabled telemetry sink: nothing records"
             )
         self.telemetry = telemetry
+        #: The run's ``--resume`` directory, when it has one: enables the
+        #: ``/campaign`` endpoint and the ledger-staleness fold in
+        #: :meth:`health`.
+        self.campaign_dir = campaign_dir
+        self.stall_after = stall_after
         try:
             self._httpd = ThreadingHTTPServer((host, port), _Handler)
         except OSError as exc:
@@ -294,12 +312,19 @@ class TelemetryServer:
             return int(entry["value"]) if entry is not None \
                 and "value" in entry else 0
 
+        # Cumulative wall-clock per profiler span (ms). The dashboard
+        # differentiates consecutive samples into lane rates (simulate
+        # ms/s vs runner/checkpoint overhead ms/s); empty when the run
+        # is not profiling.
+        spans = {name: data["total_ms"] for name, data
+                 in self.telemetry.profiler.snapshot().items()}
         return self.history.append({
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "sim_cycles": counter("sim.cycles"),
             "accesses": counter("coalescer.accesses"),
             "kernels": counter("sim.kernels"),
             "trace_events": self.telemetry.tracer.recorded,
+            "spans": spans,
         })
 
     def __enter__(self) -> "TelemetryServer":
@@ -313,13 +338,26 @@ class TelemetryServer:
     def health(self) -> dict:
         board = self.telemetry.board
         incidents = board.snapshot()["incidents"] if board is not None else {}
-        return {
+        payload = {
             "status": "degraded" if incidents else "ok",
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "trace_recorded": self.telemetry.tracer.recorded,
             "metrics": len(self.telemetry.metrics),
             "incidents": incidents,
         }
+        if self.campaign_dir is not None:
+            # Ledger-derived staleness: a campaign with an open phase but
+            # no ledger write for stall_after seconds is stalled — report
+            # degraded and name the phase, so a watchdog polling /health
+            # catches a hung campaign without parsing the ledger itself.
+            from repro.experiments.manifest import campaign_health
+            probe = campaign_health(self.campaign_dir,
+                                    stall_after=self.stall_after)
+            payload["campaign"] = probe
+            if probe["stalled"]:
+                payload["status"] = "degraded"
+                payload["stalled_phase"] = probe["stalled_phase"]
+        return payload
 
     def metrics_json(self) -> str:
         return stable_json({
@@ -348,6 +386,34 @@ class TelemetryServer:
             return {"phases": {}, "done": 0, "total": 0, "incidents": {},
                     "uptime_seconds": 0.0}
         return board.snapshot()
+
+    def campaign(self, since: int = 0,
+                 limit: int = DEFAULT_TRACE_LIMIT) -> dict:
+        """The aggregated campaign manifest plus an incremental ledger
+        drain (``/trace``'s ``since``/``next_since`` cursor contract).
+
+        A run without a ``--resume`` directory serves ``available:
+        false`` with a reason instead of 404, so the dashboard can probe
+        unconditionally. Manifest imports lazily (same pattern as the
+        cost-center join in :meth:`profile`) to keep the telemetry
+        package import-light and cycle-free.
+        """
+        if self.campaign_dir is None:
+            return {"available": False,
+                    "reason": "run has no campaign directory (--resume)"}
+        from repro.experiments.manifest import campaign_manifest
+        from repro.telemetry.journal import JOURNAL_NAME, events_since
+        try:
+            manifest = campaign_manifest(self.campaign_dir,
+                                         stall_after=self.stall_after)
+        except ConfigurationError as exc:
+            return {"available": False, "reason": str(exc)}
+        ledger = Path(self.campaign_dir) / JOURNAL_NAME
+        if not ledger.is_file() and manifest["experiments"]:
+            ledger = Path(manifest["experiments"][0]["run_dir"]) \
+                / JOURNAL_NAME
+        drain = events_since(ledger, since=since, limit=limit)
+        return {"available": True, "manifest": manifest, **drain}
 
     def profile(self) -> dict:
         """Wall-clock span aggregates plus live cost-center totals.
@@ -472,6 +538,12 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
   .spark polyline { fill: none; stroke-width: 2; stroke-linejoin: round; }
   .spark .line-cycles { stroke: var(--blue); }
   .spark .line-accesses { stroke: var(--orange); }
+  .spark .line-sim { stroke: var(--aqua); }
+  .spark .line-overhead { stroke: var(--orange); }
+  #campaign table { max-width: 920px; }
+  #campaign .meta { color: var(--text-2); font-size: 13px;
+                    margin-top: 6px; }
+  #campaign .stalled { color: var(--orange); font-weight: 650; }
 </style>
 </head>
 <body>
@@ -506,7 +578,31 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
       <svg viewBox="0 0 260 48" preserveAspectRatio="none">
         <polyline class="line-accesses" id="spark-accesses" points=""/></svg>
     </div>
+    <div class="spark">
+      <div class="head"><span class="label">simulate ms / s</span>
+        <span class="now" id="spark-sim-now">&ndash;</span></div>
+      <svg viewBox="0 0 260 48" preserveAspectRatio="none">
+        <polyline class="line-sim" id="spark-sim" points=""/></svg>
+    </div>
+    <div class="spark">
+      <div class="head"><span class="label">runner overhead ms / s</span>
+        <span class="now" id="spark-overhead-now">&ndash;</span></div>
+      <svg viewBox="0 0 260 48" preserveAspectRatio="none">
+        <polyline class="line-overhead" id="spark-overhead" points=""/></svg>
+    </div>
   </div>
+</section>
+
+<section id="campaign" hidden>
+  <h2>Campaign</h2>
+  <table id="campaign-table">
+    <thead><tr><th>experiment</th><th>phase</th><th class="num">total</th>
+               <th class="num">done</th><th class="num">left</th>
+               <th class="num">quar</th><th class="num">p95 ms</th>
+               <th>state</th></tr></thead>
+    <tbody></tbody>
+  </table>
+  <div class="meta" id="campaign-meta"></div>
 </section>
 
 <section>
@@ -533,7 +629,7 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
 let since = 0;
 let historySince = 0;
 let lastSample = null;
-const rates = { cycles: [], accesses: [] };
+const rates = { cycles: [], accesses: [], sim: [], overhead: [] };
 const POINTS = 60;
 const tail = [];
 const TAIL = 18;
@@ -547,12 +643,14 @@ function setStatus(ok, text) {
 
 async function poll() {
   try {
-    const [health, metrics, progress, trace, history] = await Promise.all([
+    const [health, metrics, progress, trace, history, campaign] =
+      await Promise.all([
       fetch("/health").then(r => r.json()),
       fetch("/metrics").then(r => r.json()),
       fetch("/progress").then(r => r.json()),
       fetch("/trace?since=" + since + "&limit=200").then(r => r.json()),
       fetch("/metrics/history?since=" + historySince).then(r => r.json()),
+      fetch("/campaign?limit=1").then(r => r.json()),
     ]);
     setStatus(true, "live \\u00b7 up " + health.uptime_seconds.toFixed(0) + "s");
     renderTiles(health, metrics, progress);
@@ -560,6 +658,7 @@ async function poll() {
     renderPhases(progress);
     renderMetrics(metrics.metrics);
     renderTrace(trace);
+    renderCampaign(campaign, health);
   } catch (err) {
     setStatus(false, "unreachable \\u2014 retrying");
   }
@@ -577,6 +676,18 @@ function renderTiles(health, metrics, progress) {
     fmt(Object.keys(metrics.metrics).length);
 }
 
+function laneMs(spans, predicate) {
+  let total = 0;
+  for (const name of Object.keys(spans || {}))
+    if (predicate(name)) total += spans[name];
+  return total;
+}
+
+const simLane = s => laneMs(s.spans, n =>
+  n === "serial.simulate" || n === "chunk.simulate");
+const overheadLane = s => laneMs(s.spans, n =>
+  n.startsWith("runner.") || n.startsWith("checkpoint."));
+
 function renderSparks(history) {
   historySince = history.next_since;
   for (const s of history.samples) {
@@ -585,21 +696,26 @@ function renderSparks(history) {
       if (dt > 0) {
         rates.cycles.push((s.sim_cycles - lastSample.sim_cycles) / dt);
         rates.accesses.push((s.accesses - lastSample.accesses) / dt);
+        rates.sim.push((simLane(s) - simLane(lastSample)) / dt);
+        rates.overhead.push(
+          (overheadLane(s) - overheadLane(lastSample)) / dt);
       }
     }
     lastSample = s;
   }
-  while (rates.cycles.length > POINTS) rates.cycles.shift();
-  while (rates.accesses.length > POINTS) rates.accesses.shift();
+  for (const key of Object.keys(rates))
+    while (rates[key].length > POINTS) rates[key].shift();
   drawSpark("cycles", rates.cycles);
   drawSpark("accesses", rates.accesses);
+  drawSpark("sim", rates.sim, "ms/s");
+  drawSpark("overhead", rates.overhead, "ms/s");
 }
 
-function drawSpark(name, series) {
+function drawSpark(name, series, unit) {
   if (!series.length) return;
   const now = series[series.length - 1];
   document.getElementById("spark-" + name + "-now").textContent =
-    fmt(Math.round(now)) + "/s";
+    fmt(Math.round(now)) + (unit ? " " + unit : "/s");
   const top = Math.max(...series, 1);
   const step = series.length > 1 ? 260 / (series.length - 1) : 0;
   const points = series.map((v, i) =>
@@ -652,6 +768,40 @@ function renderTrace(trace) {
   while (tail.length > TAIL) tail.shift();
   if (tail.length)
     document.getElementById("trace").textContent = tail.join("\\n");
+}
+
+function renderCampaign(campaign, health) {
+  const host = document.getElementById("campaign");
+  if (!campaign || !campaign.available) { host.hidden = true; return; }
+  host.hidden = false;
+  const m = campaign.manifest;
+  const rows = [];
+  for (const exp of m.experiments)
+    for (const p of exp.phases) {
+      const lat = p.latency || {};
+      rows.push("<tr><td>" + esc(exp.experiment) + "</td><td>"
+        + esc(p.phase.split("|")[0]) + '</td><td class="num">'
+        + (p.samples == null ? "\\u2013" : fmt(p.samples))
+        + '</td><td class="num">' + fmt(p.completed)
+        + '</td><td class="num">'
+        + (p.remaining == null ? "\\u2013" : fmt(p.remaining))
+        + '</td><td class="num">' + fmt(p.quarantined)
+        + '</td><td class="num">'
+        + (lat.p95_ms != null ? fmt(lat.p95_ms) : "")
+        + "</td><td>" + esc(p.state) + "</td></tr>");
+    }
+  document.querySelector("#campaign-table tbody").innerHTML =
+    rows.join("") || '<tr><td colspan="8" class="muted">no phases yet</td></tr>';
+  const t = m.totals;
+  let meta = esc(m.root) + " \\u00b7 " + m.status + " \\u00b7 "
+    + fmt(t.completed) + "/" + fmt(t.samples) + " samples";
+  if (m.last_event_age_seconds != null)
+    meta += " \\u00b7 last event " + m.last_event_age_seconds.toFixed(1)
+      + "s ago";
+  if (health.stalled_phase)
+    meta += ' \\u00b7 <span class="stalled">stalled: '
+      + esc(health.stalled_phase.split("|")[0]) + "</span>";
+  document.getElementById("campaign-meta").innerHTML = meta;
 }
 
 function esc(text) {

@@ -1,0 +1,296 @@
+"""The campaign manifest aggregator (`rcoal status` / `/campaign`).
+
+The load-bearing claim: the manifest's restored/remaining numbers are
+*exactly* the checkpoint store's ground truth (the samples a ``--resume``
+would skip), on healthy, interrupted, and garbage-collected campaigns —
+and GC/compaction change neither those numbers nor the resumed output.
+"""
+
+import json
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentContext, collect_records
+from repro.experiments.checkpoint import (
+    CheckpointStore,
+    campaign_fingerprint,
+    phase_label,
+)
+from repro.experiments.manifest import (
+    campaign_health,
+    campaign_manifest,
+    discover_run_dirs,
+    gc_campaign,
+    render_manifest,
+)
+from repro.faults import install_plan, parse_fault_plan
+from repro.telemetry.journal import JOURNAL_NAME, RunJournal
+
+SAMPLES = 12
+POLICY = make_policy("fss", 4, 32)
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+def _ctx(**overrides):
+    return ExperimentContext(root_seed=4242, samples=SAMPLES,
+                             lines=4, **overrides)
+
+
+def _store(run_dir, ctx):
+    return CheckpointStore.open(
+        run_dir, campaign_fingerprint("fig05", ctx, False))
+
+
+def _interrupt(run_dir):
+    """Run a campaign that dies at sample 8, leaving a partial phase."""
+    ctx = _ctx()
+    store = _store(run_dir, ctx)
+    with pytest.raises(Exception):
+        collect_records(ctx.with_(checkpoint=store,
+                                  faults=parse_fault_plan("raise@8x*")),
+                        POLICY, SAMPLES, counts_only=True)
+    install_plan(None)
+    return ctx
+
+
+class TestDiscovery:
+    def test_single_run_dir_is_its_own_campaign(self, tmp_path):
+        run = tmp_path / "camp"
+        _interrupt(run)
+        assert discover_run_dirs(run) == [run]
+
+    def test_all_style_root_lists_children(self, tmp_path):
+        for name in ("fig05", "fig07"):
+            _interrupt(tmp_path / name)
+        assert discover_run_dirs(tmp_path) == [tmp_path / "fig05",
+                                               tmp_path / "fig07"]
+
+    def test_no_campaign_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            campaign_manifest(tmp_path / "empty")
+        with pytest.raises(ConfigurationError):
+            gc_campaign(tmp_path / "empty")
+
+
+class TestInterruptedCampaign:
+    def test_counts_match_checkpoint_ground_truth_exactly(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        label = phase_label(ctx, POLICY, SAMPLES, True, False)
+        truth = _store(run, ctx).completed_indices(label)
+        assert 0 < len(truth) < SAMPLES  # genuinely interrupted
+
+        manifest = campaign_manifest(run, stall_after=1e9)
+        phase, = manifest["experiments"][0]["phases"]
+        assert phase["completed"] == len(truth)
+        assert phase["remaining"] == SAMPLES - len(truth)
+        assert phase["samples"] == SAMPLES
+        assert manifest["status"] == "in-progress"
+        assert manifest["totals"]["completed"] == len(truth)
+        assert manifest["totals"]["remaining"] == SAMPLES - len(truth)
+
+    def test_resume_to_complete_zeroes_remaining(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        collect_records(ctx.with_(checkpoint=_store(run, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        manifest = campaign_manifest(run, stall_after=1e9)
+        phase, = manifest["experiments"][0]["phases"]
+        assert phase["remaining"] == 0
+        assert phase["state"] == "done"
+        assert manifest["status"] == "complete"
+        assert manifest["experiments"][0]["totals"]["quarantined"] == 0
+
+    def test_latency_percentiles_come_from_chunk_done_events(
+            self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        collect_records(ctx.with_(checkpoint=_store(run, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        phase, = campaign_manifest(run)["experiments"][0]["phases"]
+        latency = phase["latency"]
+        assert latency is not None and latency["count"] > 0
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+    def test_stall_detection_names_the_open_phase(self, tmp_path):
+        run = tmp_path / "camp"
+        _interrupt(run)
+        # With a zero stall budget, the interrupted (open) phase counts
+        # as stalled the moment the ledger goes quiet.
+        probe = campaign_health(run, stall_after=0.0)
+        assert probe["stalled"] is True
+        assert probe["stalled_phase"] in probe["open_phases"]
+        assert campaign_manifest(run, stall_after=0.0)["status"] \
+            == "stalled"
+        # A completed campaign never stalls, however old its ledger.
+        ctx = _ctx()
+        collect_records(ctx.with_(checkpoint=_store(run, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        assert campaign_health(run, stall_after=0.0)["stalled"] is False
+
+
+class TestAggregation:
+    def test_multi_run_root_sums_experiments(self, tmp_path):
+        for name in ("fig05", "fig07"):
+            _interrupt(tmp_path / name)
+        manifest = campaign_manifest(tmp_path, stall_after=1e9)
+        assert len(manifest["experiments"]) == 2
+        assert manifest["totals"]["samples"] == 2 * SAMPLES
+        assert manifest["totals"]["completed"] == sum(
+            view["totals"]["completed"]
+            for view in manifest["experiments"])
+
+    def test_root_ledger_events_are_counted(self, tmp_path):
+        _interrupt(tmp_path / "fig05")
+        RunJournal(tmp_path / JOURNAL_NAME).append(
+            "experiment_finish", experiment="fig05", seconds=1.0)
+        manifest = campaign_manifest(tmp_path, stall_after=1e9)
+        assert manifest["root_events"] == 1
+
+    def test_lanes_group_events_by_pid(self, tmp_path):
+        run = tmp_path / "camp"
+        _interrupt(run)
+        view = campaign_manifest(run)["experiments"][0]
+        assert len(view["lanes"]) >= 1
+        for lane in view["lanes"].values():
+            assert lane["events"] > 0
+            assert lane["first_ts"] <= lane["last_ts"]
+
+    def test_render_mentions_totals_and_status(self, tmp_path):
+        run = tmp_path / "camp"
+        _interrupt(run)
+        text = render_manifest(campaign_manifest(run, stall_after=1e9))
+        assert "in-progress" in text
+        assert "remaining" in text
+        assert "fig05" in text
+
+
+class TestGarbageCollection:
+    def test_gc_preserves_manifest_numbers_and_resumed_output(
+            self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        _, records = collect_records(
+            ctx.with_(checkpoint=_store(run, ctx)),
+            POLICY, SAMPLES, counts_only=True)
+        before = campaign_manifest(run, stall_after=1e9)
+
+        stats = gc_campaign(run)
+        assert stats["events_after"] <= stats["events_before"]
+
+        after = campaign_manifest(run, stall_after=1e9)
+        assert after["totals"] == before["totals"]
+        phase_b, = before["experiments"][0]["phases"]
+        phase_a, = after["experiments"][0]["phases"]
+        assert phase_a["completed"] == phase_b["completed"]
+        assert phase_a["latency"]["count"] == phase_b["latency"]["count"]
+        assert phase_a["latency"]["p95_ms"] == phase_b["latency"]["p95_ms"]
+
+        # The deciding check: a post-GC resume returns identical records.
+        _, records_again = collect_records(
+            ctx.with_(checkpoint=_store(run, ctx)),
+            POLICY, SAMPLES, counts_only=True)
+        assert records_again == records
+
+    def test_gc_removes_chunks_fully_covered_by_others(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        store = _store(run, ctx)
+        collect_records(ctx.with_(checkpoint=store), POLICY, SAMPLES,
+                        counts_only=True)
+        label = phase_label(ctx, POLICY, SAMPLES, True, False)
+        # Manufacture a superseded chunk: one whole-span file plus the
+        # existing partials covering the same indices.
+        chunks = store.load_chunks(label)
+        indices = tuple(i for chunk in chunks for i in chunk.indices)
+        whole = type(chunks[0])(
+            indices=tuple(sorted(indices)),
+            records=[r for chunk in chunks for r in chunk.records])
+        store.save_chunk(label, whole)
+        spans_before = store.completed_spans(label)
+        assert len(spans_before) == len(chunks) + 1
+
+        stats = gc_campaign(run)
+        assert stats["removed_chunks"] == len(chunks)
+        # Only the whole-span chunk survives; coverage is unchanged.
+        spans_after = _store(run, ctx).completed_spans(label)
+        assert spans_after == [(0, SAMPLES - 1)]
+        truth = _store(run, ctx).completed_indices(label)
+        assert truth == set(range(SAMPLES))
+
+    def test_compacted_ledger_still_reports_retries(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _ctx()
+        store = _store(run, ctx)
+        # One transient failure: retried to success under supervision.
+        from repro.experiments.runner import SupervisionPolicy
+        install_plan(parse_fault_plan("raise@3"))
+        collect_records(
+            ctx.with_(checkpoint=store,
+                      supervision=SupervisionPolicy(max_attempts=3),
+                      faults=parse_fault_plan("raise@3")),
+            POLICY, SAMPLES, counts_only=True)
+        install_plan(None)
+        before = campaign_manifest(run, stall_after=1e9)
+        retries = before["totals"]["retries"]
+        assert retries >= 1
+        gc_campaign(run)
+        after = campaign_manifest(run, stall_after=1e9)
+        assert after["totals"]["retries"] == retries
+
+
+class TestTornLedger:
+    def test_torn_tail_never_breaks_status_or_resume(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        # The crash model by hand: a writer died mid-line.
+        with open(run / JOURNAL_NAME, "ab") as handle:
+            handle.write(b'{"kind":"phase_fin')
+        label = phase_label(ctx, POLICY, SAMPLES, True, False)
+        truth = _store(run, ctx).completed_indices(label)
+        manifest = campaign_manifest(run, stall_after=1e9)
+        phase, = manifest["experiments"][0]["phases"]
+        assert phase["completed"] == len(truth)
+        assert phase["remaining"] == SAMPLES - len(truth)
+        # The resume both finishes the phase and repairs the tail.
+        collect_records(ctx.with_(checkpoint=_store(run, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        after = campaign_manifest(run, stall_after=1e9)
+        assert after["totals"]["remaining"] == 0
+        assert after["status"] == "complete"
+
+    def test_injected_torn_fault_mid_campaign_stays_exact(self, tmp_path):
+        from repro.faults import TornWriteError
+        run = tmp_path / "camp"
+        ctx = _ctx()
+        # torn@* fires on the very first ledger append (campaign_open):
+        # the campaign dies before simulating anything, with a torn line
+        # on disk.
+        install_plan(parse_fault_plan(f"torn@{JOURNAL_NAME}"))
+        with pytest.raises(TornWriteError):
+            collect_records(
+                ctx.with_(checkpoint=_store(run, ctx),
+                          faults=parse_fault_plan(f"torn@{JOURNAL_NAME}")),
+                POLICY, SAMPLES, counts_only=True)
+        install_plan(None)
+        # The torn ledger reads as empty but the directory is a valid
+        # campaign; status reports the (zero-progress) truth.
+        manifest = campaign_manifest(run, stall_after=1e9)
+        assert manifest["totals"]["completed"] == 0
+        # A clean rerun resumes to completion with exact numbers.
+        collect_records(ctx.with_(checkpoint=_store(run, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        label = phase_label(ctx, POLICY, SAMPLES, True, False)
+        truth = _store(run, ctx).completed_indices(label)
+        assert truth == set(range(SAMPLES))
+        after = campaign_manifest(run, stall_after=1e9)
+        assert after["totals"]["completed"] == SAMPLES
+        assert after["status"] == "complete"

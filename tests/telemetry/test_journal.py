@@ -1,0 +1,170 @@
+"""The persistent run ledger: append-only, crash-safe, cursor-readable.
+
+The contract under test: an append is all-or-nothing for readers (a torn
+tail is skipped, never propagated), seq numbers are the 1-based index of
+*readable* lines (the ``/campaign`` cursor currency), and a journal
+survives pickling minus its lock so contexts holding one stay shippable.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.faults import TornWriteError, install_plan, parse_fault_plan
+from repro.telemetry.journal import (
+    JOURNAL_NAME,
+    RunJournal,
+    events_since,
+    last_event,
+    read_journal,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / JOURNAL_NAME
+
+
+class TestAppendAndRead:
+    def test_round_trip_preserves_fields_and_order(self, path):
+        journal = RunJournal(path)
+        journal.append("phase_start", phase="p", samples=10)
+        journal.append("chunk_done", start=0, end=4, seconds=0.25)
+        events = read_journal(path)
+        assert [e["kind"] for e in events] == ["phase_start", "chunk_done"]
+        assert events[0]["samples"] == 10
+        assert events[1]["seconds"] == 0.25
+        # Every event is stamped with writer identity and wall clock.
+        assert all("pid" in e and "ts" in e for e in events)
+
+    def test_seq_is_the_one_based_line_index(self, path):
+        journal = RunJournal(path)
+        for i in range(5):
+            journal.append("tick", index=i)
+        assert [e["seq"] for e in read_journal(path)] == [1, 2, 3, 4, 5]
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert read_journal(tmp_path / "never-written.jsonl") == []
+        assert last_event(tmp_path / "never-written.jsonl") is None
+
+    def test_disabled_journal_writes_nothing(self, path):
+        journal = RunJournal(path, enabled=False)
+        journal.append("tick")
+        assert not path.exists()
+        assert RunJournal.disabled().enabled is False
+
+    def test_two_journal_instances_interleave_safely(self, path):
+        # Two writers (the model for parent + CheckpointStore holding
+        # separate instances over one file) both land complete lines.
+        a, b = RunJournal(path), RunJournal(path)
+        a.append("from_a")
+        b.append("from_b")
+        a.append("from_a_again")
+        assert [e["kind"] for e in read_journal(path)] == [
+            "from_a", "from_b", "from_a_again"]
+
+    def test_pickles_without_its_lock(self, path):
+        journal = RunJournal(path)
+        journal.append("before")
+        clone = pickle.loads(pickle.dumps(journal))
+        clone.append("after")
+        assert [e["kind"] for e in read_journal(path)] == [
+            "before", "after"]
+
+
+class TestCrashSafety:
+    def test_torn_tail_is_skipped_on_read(self, path):
+        journal = RunJournal(path)
+        journal.append("complete")
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "torn-no-newli')
+        events = read_journal(path)
+        assert [e["kind"] for e in events] == ["complete"]
+        assert events[-1]["seq"] == 1  # the torn line consumed no seq
+
+    def test_next_append_repairs_the_torn_tail(self, path):
+        journal = RunJournal(path)
+        journal.append("complete")
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "torn-no-newli')
+        RunJournal(path).append("after_crash")
+        assert [e["kind"] for e in read_journal(path)] == [
+            "complete", "after_crash"]
+
+    def test_garbage_lines_are_skipped_without_a_seq(self, path):
+        journal = RunJournal(path)
+        journal.append("first")
+        with open(path, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'"a json string, not an object"\n')
+        journal.append("second")
+        events = read_journal(path)
+        assert [(e["kind"], e["seq"]) for e in events] == [
+            ("first", 1), ("second", 2)]
+
+    def test_injected_torn_write_matches_the_crash_model(self, path):
+        install_plan(parse_fault_plan(f"torn@{JOURNAL_NAME}"))
+        journal = RunJournal(path)
+        with pytest.raises(TornWriteError):
+            journal.append("doomed", payload="x" * 64)
+        # The fault left a half line with no newline; readers skip it.
+        assert read_journal(path) == []
+        assert path.read_bytes() != b""
+        assert not path.read_bytes().endswith(b"\n")
+        # The budget is spent: the next append repairs and succeeds.
+        journal.append("recovered")
+        assert [e["kind"] for e in read_journal(path)] == ["recovered"]
+
+
+class TestCursors:
+    def test_events_since_follows_the_trace_contract(self, path):
+        journal = RunJournal(path)
+        for i in range(4):
+            journal.append("tick", index=i)
+        first = events_since(path, since=0)
+        assert [e["index"] for e in first["events"]] == [0, 1, 2, 3]
+        assert first["next_since"] == 4 and first["recorded"] == 4
+        # Nothing new: cursor unchanged.
+        again = events_since(path, since=first["next_since"])
+        assert again["events"] == []
+        assert again["next_since"] == 4
+        journal.append("tick", index=4)
+        fresh = events_since(path, since=again["next_since"])
+        assert [e["index"] for e in fresh["events"]] == [4]
+
+    def test_limit_keeps_newest_and_reports_dropped(self, path):
+        journal = RunJournal(path)
+        for i in range(6):
+            journal.append("tick", index=i)
+        drained = events_since(path, since=0, limit=2)
+        assert [e["index"] for e in drained["events"]] == [4, 5]
+        assert drained["dropped"] == 4
+        assert drained["next_since"] == 6
+
+    def test_compaction_shrink_clamps_a_stale_cursor(self, path):
+        journal = RunJournal(path)
+        for i in range(5):
+            journal.append("tick", index=i)
+        # Simulate a compaction rewriting the file shorter: a client
+        # holding since=5 must not wedge on an impossible cursor.
+        path.write_text(json.dumps({"kind": "compacted"}) + "\n")
+        stale = events_since(path, since=5)
+        assert stale["events"] == []
+        assert stale["next_since"] == 1  # clamped to what exists
+
+    def test_last_event_reads_only_the_tail(self, path):
+        journal = RunJournal(path)
+        for i in range(10):
+            journal.append("tick", index=i)
+        journal.append("phase_finish", phase="p")
+        assert last_event(path)["kind"] == "phase_finish"
+        assert last_event(path, kinds={"tick"})["index"] == 9
+        assert last_event(path, kinds={"never"}) is None

@@ -351,3 +351,101 @@ class TestIncidentSurfacing:
                                             "pool_restart": 2}
             _, _, body = _get(f"{server.url}/progress")
             assert json.loads(body)["incidents"]["quarantined"] == 1
+
+
+class TestCampaignEndpoint:
+    @staticmethod
+    def _campaign(tmp_path):
+        """A completed single-phase campaign directory."""
+        from repro.experiments.checkpoint import (
+            CheckpointStore,
+            campaign_fingerprint,
+        )
+        ctx = ExperimentContext(root_seed=7, samples=4, lines=4)
+        store = CheckpointStore.open(
+            tmp_path / "camp", campaign_fingerprint("fig05", ctx, True))
+        collect_records(ctx.with_(checkpoint=store),
+                        make_policy("fss", 4, 32), 4, counts_only=True)
+        return tmp_path / "camp"
+
+    def test_without_campaign_dir_probe_is_unavailable(self):
+        with TelemetryServer(Telemetry(board=ProgressBoard()),
+                             port=0) as server:
+            _, _, body = _get(f"{server.url}/campaign")
+            payload = json.loads(body)
+            assert payload["available"] is False
+            assert "reason" in payload
+
+    def test_manifest_and_ledger_cursor(self, tmp_path):
+        run = self._campaign(tmp_path)
+        with TelemetryServer(Telemetry(board=ProgressBoard()), port=0,
+                             campaign_dir=str(run),
+                             stall_after=1e9) as server:
+            _, _, body = _get(f"{server.url}/campaign")
+            payload = json.loads(body)
+            assert payload["available"] is True
+            manifest = payload["manifest"]
+            assert manifest["status"] == "complete"
+            assert manifest["totals"]["completed"] == 4
+            assert manifest["totals"]["remaining"] == 0
+            assert payload["events"]  # the ledger drain rides along
+            cursor = payload["next_since"]
+            _, _, body = _get(
+                f"{server.url}/campaign?since={cursor}")
+            assert json.loads(body)["events"] == []
+
+    def test_health_folds_ledger_staleness(self, tmp_path):
+        from repro.experiments.checkpoint import (
+            CheckpointStore,
+            campaign_fingerprint,
+        )
+        # An interrupted campaign: phase_start with no phase_finish.
+        from repro.faults import install_plan, parse_fault_plan
+        ctx = ExperimentContext(root_seed=7, samples=6, lines=4)
+        store = CheckpointStore.open(
+            tmp_path / "camp", campaign_fingerprint("fig05", ctx, True))
+        with pytest.raises(Exception):
+            collect_records(
+                ctx.with_(checkpoint=store,
+                          faults=parse_fault_plan("raise@4x*")),
+                make_policy("fss", 4, 32), 6, counts_only=True)
+        install_plan(None)
+        with TelemetryServer(Telemetry(board=ProgressBoard()), port=0,
+                             campaign_dir=str(tmp_path / "camp"),
+                             stall_after=0.0) as server:
+            _, _, body = _get(f"{server.url}/health")
+            payload = json.loads(body)
+            assert payload["status"] == "degraded"
+            assert payload["campaign"]["stalled"] is True
+            assert payload["stalled_phase"] \
+                in payload["campaign"]["open_phases"]
+        # A generous stall budget: same campaign reads healthy.
+        with TelemetryServer(Telemetry(board=ProgressBoard()), port=0,
+                             campaign_dir=str(tmp_path / "camp"),
+                             stall_after=1e9) as server:
+            _, _, body = _get(f"{server.url}/health")
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+            assert payload["campaign"]["stalled"] is False
+
+    def test_history_samples_carry_span_lanes(self):
+        telemetry = Telemetry(board=ProgressBoard(), profile=True)
+        with TelemetryServer(telemetry, port=0,
+                             sample_interval=60.0) as server:
+            ctx = ExperimentContext(root_seed=123, samples=1,
+                                    telemetry=telemetry)
+            collect_records(ctx, make_policy("baseline"), 1)
+            server.sample_history()
+            _, _, body = _get(f"{server.url}/metrics/history?since=0")
+            latest = json.loads(body)["samples"][-1]
+            assert "serial.simulate" in latest["spans"]
+            assert latest["spans"]["serial.simulate"] > 0
+
+    def test_dashboard_has_campaign_panel_and_lane_sparks(self):
+        with TelemetryServer(Telemetry(board=ProgressBoard()),
+                             port=0) as server:
+            _, _, body = _get(f"{server.url}/")
+            for marker in ("/campaign?limit=1", "renderCampaign",
+                           "spark-sim", "spark-overhead",
+                           "campaign-table"):
+                assert marker in body

@@ -97,3 +97,63 @@ class TestTelemetryCommands:
             assert "fig09" in capsys.readouterr().out
         finally:
             configure_logging(0)  # quiet the package root again
+
+
+class TestStatusCommand:
+    @staticmethod
+    def _campaign(tmp_path, capsys):
+        """A real campaign directory made by running with --resume."""
+        run = tmp_path / "camp"
+        assert main(["fig05", "--samples", "6",
+                     "--resume", str(run)]) == 0
+        capsys.readouterr()  # swallow the experiment output
+        return run
+
+    def test_table_reports_completed_campaign(self, tmp_path, capsys):
+        run = self._campaign(tmp_path, capsys)
+        assert main(["status", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "fig05" in out
+        assert "6/6 samples done" in out
+
+    def test_json_manifest_matches_checkpoint_truth(self, tmp_path,
+                                                    capsys):
+        run = self._campaign(tmp_path, capsys)
+        assert main(["status", str(run), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["status"] == "complete"
+        assert manifest["totals"]["completed"] == 6
+        assert manifest["totals"]["remaining"] == 0
+        phase, = manifest["experiments"][0]["phases"]
+        assert phase["samples"] == 6
+
+    def test_missing_campaign_exits_with_config_code(self, tmp_path,
+                                                     capsys):
+        assert main(["status", str(tmp_path / "nope")]) == EXIT_CONFIG
+        assert "no campaign found" in capsys.readouterr().err
+
+    def test_gc_keeps_status_and_resume_intact(self, tmp_path, capsys):
+        run = self._campaign(tmp_path, capsys)
+        assert main(["status", str(run), "--gc"]) == 0
+        captured = capsys.readouterr()
+        assert "ledger compacted" in captured.err
+        # The campaign still reads complete, and a rerun still resumes
+        # to the same stdout as an unresumed run.
+        assert main(["fig05", "--samples", "6",
+                     "--resume", str(run)]) == 0
+        resumed = capsys.readouterr().out
+        assert main(["fig05", "--samples", "6"]) == 0
+        plain = capsys.readouterr().out
+        assert resumed == plain
+
+    def test_resumed_run_stdout_is_byte_identical_with_ledger(
+            self, tmp_path, capsys):
+        # The observer-effect contract for the ledger itself.
+        assert main(["fig05", "--samples", "6"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["fig05", "--samples", "6",
+                     "--resume", str(tmp_path / "fresh")]) == 0
+        ledgered = capsys.readouterr().out
+        assert ledgered == plain
+        assert (tmp_path / "fresh" / "events.jsonl").stat().st_size > 0
