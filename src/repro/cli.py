@@ -113,6 +113,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "engine); default: REPRO_BATCHED, then on. "
                              "Counts are checksum-identical either way "
                              "(see docs/performance.md)")
+    parser.add_argument("--batched-timing", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="force the wavefront-batched exact-timing "
+                             "engine for timed phases "
+                             "(--no-batched-timing forces the per-event "
+                             "engine); default: REPRO_BATCHED_TIMING, "
+                             "then on. The KernelResult is identical "
+                             "either way; unsupported launches fall "
+                             "back to the event engine (see "
+                             "docs/performance.md)")
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -325,6 +335,7 @@ def _run_telemetry_command(command: str, argv: List[str]) -> int:
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, batched=args.batched,
+                            batched_timing=args.batched_timing,
                             **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
@@ -431,6 +442,7 @@ def _run_serve_command(argv: List[str]) -> int:
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, batched=args.batched,
+                            batched_timing=args.batched_timing,
                             **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
@@ -514,6 +526,7 @@ def _run_profile_command(argv: List[str]) -> int:
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, batched=args.batched,
+                            batched_timing=args.batched_timing,
                             **_resilience_fields(args))
     if args.resume:
         ctx = ctx.with_(checkpoint=_open_store(
@@ -781,6 +794,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
                             telemetry=telemetry, progress=args.progress,
                             jobs=args.jobs, batched=args.batched,
+                            batched_timing=args.batched_timing,
                             **_resilience_fields(args))
 
     multiple = len(ids) > 1

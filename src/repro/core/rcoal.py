@@ -43,10 +43,12 @@ class RCoalGPU:
 
     def __init__(self, policy: CoalescingPolicy,
                  config: Optional[GPUConfig] = None,
-                 address_map=None, telemetry=None):
+                 address_map=None, telemetry=None,
+                 batched_timing=None):
         self.policy = policy
         self.simulator = GPUSimulator(config, address_map=address_map,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry,
+                                      batched_timing=batched_timing)
         if policy.warp_size != self.simulator.config.warp_size:
             raise ConfigurationError(
                 f"policy warp size {policy.warp_size} != machine warp size "

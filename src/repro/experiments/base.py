@@ -34,7 +34,8 @@ from repro.telemetry import (
     Telemetry,
     get_logger,
 )
-from repro.utils import batched_mode, env_flag, scaled_samples
+from repro.utils import (batched_mode, batched_timing_mode,
+                         env_flag, scaled_samples)
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
@@ -81,6 +82,12 @@ class ExperimentContext:
     #: batched core (counts are checksum-identical either way; timed
     #: collection always uses the event engine).
     batched: Optional[bool] = None
+    #: Exact-timing engine selection for timed phases: True forces the
+    #: wavefront-batched core, False forces the per-event engine, None
+    #: (default) resolves via REPRO_BATCHED_TIMING and then to the
+    #: batched core. Either way the KernelResult is identical; launches
+    #: the core does not cover fall back to the event engine.
+    batched_timing: Optional[bool] = None
     #: Optional worker supervision (deadlines, retries, quarantine) — a
     #: ``repro.experiments.runner.SupervisionPolicy``. None (the default)
     #: means unsupervised: failures propagate, nothing is retried, and
@@ -180,6 +187,7 @@ def build_server(
         counts_only=counts_only,
         retain_kernel_results=retain_kernel_results,
         telemetry=telemetry,
+        batched_timing=ctx.batched_timing,
     )
 
 
@@ -223,7 +231,12 @@ def collect_records(
         journal = ctx.journal
         label = phase_label(ctx, policy, num_samples, counts_only,
                             retain_kernel_results)
-        engine = "batched" if batched else "event"
+        if counts_only:
+            engine = "batched" if batched else "event"
+        else:
+            engine = ("batched_timing"
+                      if batched_timing_mode(ctx.batched_timing)
+                      else "event")
         journal.append("phase_start", phase=label,
                        policy=policy.describe(), samples=num_samples,
                        jobs=1, mode="serial", engine=engine,

@@ -66,7 +66,7 @@ from repro.telemetry import (
     get_logger,
 )
 from repro.telemetry.journal import RunJournal
-from repro.utils import batched_mode, env_flag
+from repro.utils import batched_mode, batched_timing_mode, env_flag
 from repro.workloads.plaintext import random_plaintexts
 from repro.workloads.server import EncryptionRecord, EncryptionServer
 
@@ -399,8 +399,12 @@ def collect_records_parallel(
     if journal.enabled:
         label = phase_label(ctx, policy, num_samples, counts_only,
                             retain_kernel_results)
-        engine = ("batched" if counts_only and batched_mode(ctx.batched)
-                  else "event")
+        if counts_only:
+            engine = "batched" if batched_mode(ctx.batched) else "event"
+        else:
+            engine = ("batched_timing"
+                      if batched_timing_mode(ctx.batched_timing)
+                      else "event")
         journal.append("phase_start", phase=label,
                        policy=policy.describe(), samples=num_samples,
                        jobs=jobs, mode="parallel", engine=engine,
@@ -514,7 +518,8 @@ def _worker_context(ctx: ExperimentContext) -> ExperimentContext:
     return ctx.with_(telemetry=None, progress=False, jobs=1,
                      supervision=None, faults=None, checkpoint=None,
                      campaign=None, journal=None,
-                     batched=batched_mode(ctx.batched))
+                     batched=batched_mode(ctx.batched),
+                     batched_timing=batched_timing_mode(ctx.batched_timing))
 
 
 def _phase_journal(ctx: ExperimentContext) -> RunJournal:
@@ -859,8 +864,12 @@ def collect_records_resilient(
     completed = {index for chunk in stored for index in chunk.indices}
     missing = [i for i in range(num_samples) if i not in completed]
     jobs = min(ctx.effective_jobs(), max(1, len(missing)))
-    engine = ("batched" if counts_only and faults is None
-              and batched_mode(ctx.batched) else "event")
+    if counts_only:
+        engine = ("batched" if faults is None and batched_mode(ctx.batched)
+                  else "event")
+    else:
+        engine = ("batched_timing"
+                  if batched_timing_mode(ctx.batched_timing) else "event")
     journal.append("phase_start", phase=label, policy=policy.describe(),
                    samples=num_samples, restored=len(completed),
                    jobs=jobs, mode="resilient", engine=engine,

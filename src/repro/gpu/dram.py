@@ -87,6 +87,18 @@ class MemoryController:
         self.stats = DramStats()
         self.partition_id = partition_id
         self._telemetry = Telemetry.ensure(telemetry)
+        #: Instruments bound once, on first use, so the hot paths skip the
+        #: per-call registry lookups. Each binds individually (not all in
+        #: ``__init__``) because instrument *creation* order is part of the
+        #: gated metrics baselines — e.g. ``dram.row_misses`` must not
+        #: exist on a run that never missed a row.
+        self._m_enqueue = None
+        self._m_hit = None
+        self._m_miss = None
+        self._m_read = None
+        self._m_write = None
+        self._m_service = None
+        self._m_activate = None
         self._queue: Deque[Tuple[MemoryAccess, DecodedAddress, int]] = deque()
         #: Cycle at which the data bus next frees.
         self.bus_free: int = 0
@@ -110,13 +122,21 @@ class MemoryController:
             raise ProtocolError("memory controller queue overflow")
         self._queue.append((access, decoded, cycle))
         if self._telemetry.enabled:
-            metrics = self._telemetry.metrics
-            metrics.counter("dram.enqueued").inc()
-            metrics.histogram(
-                "dram.queue_depth", buckets=(1, 2, 4, 8, 16, 32, 64, 128,
-                                             256, 512, 1024),
-            ).observe(len(self._queue))
-            metrics.gauge("dram.queue_depth.last").set(len(self._queue))
+            inst = self._m_enqueue
+            if inst is None:
+                metrics = self._telemetry.metrics
+                inst = self._m_enqueue = (
+                    metrics.counter("dram.enqueued"),
+                    metrics.histogram(
+                        "dram.queue_depth",
+                        buckets=(1, 2, 4, 8, 16, 32, 64, 128,
+                                 256, 512, 1024)),
+                    metrics.gauge("dram.queue_depth.last"),
+                )
+            enqueued, depth_hist, depth_gauge = inst
+            enqueued.inc()
+            depth_hist.observe(len(self._queue))
+            depth_gauge.set(len(self._queue))
 
     # -- scheduling -------------------------------------------------------------
 
@@ -209,18 +229,43 @@ class MemoryController:
 
         if self._telemetry.enabled:
             metrics = self._telemetry.metrics
-            metrics.counter("dram.row_hits" if row_hit
-                            else "dram.row_misses").inc()
-            metrics.counter("dram.writes" if access.is_write
-                            else "dram.reads").inc()
-            metrics.counter("dram.bus_busy_cycles").inc(timing.t_burst)
-            metrics.histogram("dram.queue_wait_cycles").observe(queue_wait)
+            if row_hit:
+                ctr = self._m_hit
+                if ctr is None:
+                    ctr = self._m_hit = metrics.counter("dram.row_hits")
+            else:
+                ctr = self._m_miss
+                if ctr is None:
+                    ctr = self._m_miss = metrics.counter("dram.row_misses")
+            ctr.inc()
+            if access.is_write:
+                ctr = self._m_write
+                if ctr is None:
+                    ctr = self._m_write = metrics.counter("dram.writes")
+            else:
+                ctr = self._m_read
+                if ctr is None:
+                    ctr = self._m_read = metrics.counter("dram.reads")
+            ctr.inc()
+            inst = self._m_service
+            if inst is None:
+                inst = self._m_service = (
+                    metrics.counter("dram.bus_busy_cycles"),
+                    metrics.histogram("dram.queue_wait_cycles"),
+                    metrics.counter("dram.service_cycles"),
+                )
+            bus_busy, qwait_hist, service = inst
+            bus_busy.inc(timing.t_burst)
+            qwait_hist.observe(queue_wait)
             # Cost-center cycle totals: column/burst service after CAS, and
             # the precharge+activate overhead a row miss pays before it.
-            metrics.counter("dram.service_cycles").inc(completion - cas_issue)
+            service.inc(completion - cas_issue)
             if activate is not None:
-                metrics.counter("dram.activate_cycles").inc(
-                    cas_issue - precharge)
+                ctr = self._m_activate
+                if ctr is None:
+                    ctr = self._m_activate = metrics.counter(
+                        "dram.activate_cycles")
+                ctr.inc(cas_issue - precharge)
             tracer = self._telemetry.tracer
             base = tracer.time_base
             args = {"bank": decoded.bank, "row": row,

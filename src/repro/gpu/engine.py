@@ -34,6 +34,7 @@ from repro.gpu.scheduler import SchedulerSet
 from repro.gpu.stats import KernelResult, RoundWindow
 from repro.gpu.warp import ComputeInstruction, WarpProgram
 from repro.telemetry import PID_ICNT, Telemetry, get_logger
+from repro.utils import batched_timing_mode
 
 __all__ = ["GPUSimulator", "KernelResult", "RoundAwareSidMap"]
 
@@ -120,12 +121,37 @@ class GPUSimulator:
 
     def __init__(self, config: Optional[GPUConfig] = None,
                  address_map: Optional[AddressMap] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 batched_timing: Optional[bool] = None):
         self.config = config or GPUConfig()
         self.address_map = address_map or AddressMap(self.config)
         #: Observability sink; the disabled null object by default, so the
         #: hot path pays one boolean check per instrumentation site.
         self.telemetry = Telemetry.ensure(telemetry)
+        #: Engine selection for exact timing: tri-state (None = resolve
+        #: from ``REPRO_BATCHED_TIMING``/default at first launch).
+        self._batched_timing = batched_timing
+        self._timed_core = None
+        self._timed_core_resolved = False
+
+    def _resolve_timed_core(self):
+        """Resolve the wavefront-batched core once, lazily.
+
+        The core only covers the uninstrumented fast-memory machine; any
+        launch it cannot reproduce exactly raises ``UnsupportedLaunch``
+        at run time and we fall back to the event path for that launch.
+        """
+        self._timed_core_resolved = True
+        if not batched_timing_mode(self._batched_timing):
+            return
+        if self.telemetry.enabled:
+            return
+        if self.config.enable_l2 or self.config.enable_mshr:
+            return
+        from repro.gpu.timed_batch import BatchedTimingCore
+
+        self._timed_core = BatchedTimingCore.try_create(
+            self.config, self.address_map)
 
     def run(
         self,
@@ -145,6 +171,18 @@ class GPUSimulator:
         """
         if not programs:
             raise ConfigurationError("a kernel launch needs at least one warp")
+
+        if not self._timed_core_resolved:
+            self._resolve_timed_core()
+        if self._timed_core is not None:
+            from repro.gpu.timed_batch import UnsupportedLaunch
+
+            try:
+                return self._timed_core.run(programs, sid_maps)
+            except UnsupportedLaunch:
+                # The core mutated no engine-visible state; replay the
+                # launch on the event path from scratch.
+                pass
 
         config = self.config
         telemetry = self.telemetry

@@ -44,6 +44,12 @@ class Crossbar:
         self._rate = requests_per_cycle
         self._ports: List[_Port] = [_Port() for _ in range(num_ports)]
         self._telemetry = Telemetry.ensure(telemetry)
+        #: Instruments bound once, on the first instrumented packet, so
+        #: ``traverse`` never repeats the registry lookup / name
+        #: formatting. Lazy (not in ``__init__``) so a crossbar that never
+        #: carries a packet registers no metrics — creation timing is part
+        #: of the gated metrics baselines.
+        self._instruments = None
 
     def traverse(self, port: int, inject_cycle: int, flits: int = 1) -> int:
         """Send one ``flits``-flit packet to ``port``; returns arrival cycle.
@@ -60,19 +66,24 @@ class Crossbar:
         accept = max(inject_cycle, state.next_free)
         state.accepted += 1
         if self._telemetry.enabled:
-            metrics = self._telemetry.metrics
-            metrics.counter(f"icnt.{self.name}.packets").inc()
-            metrics.counter(f"icnt.{self.name}.flits").inc(flits)
+            inst = self._instruments
+            if inst is None:
+                metrics = self._telemetry.metrics
+                inst = self._instruments = (
+                    metrics.counter(f"icnt.{self.name}.packets"),
+                    metrics.counter(f"icnt.{self.name}.flits"),
+                    metrics.counter(f"icnt.{self.name}.stall_cycles"),
+                    metrics.counter(f"icnt.{self.name}.transit_cycles"),
+                )
+            packets, flit_ctr, stall, transit = inst
+            packets.inc()
+            flit_ctr.inc(flits)
             # Port-contention stall: cycles the packet waited for the
             # output port beyond its injection time (the serialization
             # component the timing attack reads).
-            metrics.counter(f"icnt.{self.name}.stall_cycles").inc(
-                accept - inject_cycle
-            )
+            stall.inc(accept - inject_cycle)
             # Wire + serialization occupancy per packet (cost-center total).
-            metrics.counter(f"icnt.{self.name}.transit_cycles").inc(
-                self.latency + flits - 1
-            )
+            transit.inc(self.latency + flits - 1)
         if flits > 1:
             state.next_free = accept + flits
         elif state.accepted % self._rate == 0:

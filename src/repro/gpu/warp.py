@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
+from weakref import WeakKeyDictionary
 
 from repro.aes.key_schedule import NUM_ROUNDS
 from repro.aes.ttable import LOOKUPS_PER_ROUND, EncryptionTrace
@@ -34,7 +35,7 @@ __all__ = ["ComputeInstruction", "MemoryInstruction", "Instruction",
            "WarpProgram", "build_warp_programs"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeInstruction:
     """A block of ALU work (no memory traffic)."""
 
@@ -42,7 +43,7 @@ class ComputeInstruction:
     round_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryInstruction:
     """One lockstep warp memory instruction (load or store)."""
 
@@ -55,6 +56,11 @@ class MemoryInstruction:
 
 
 Instruction = Union[ComputeInstruction, MemoryInstruction]
+
+#: Per-address-map cache of the resolved 5x256 table-entry address grid
+#: (weak keys: dropping a server drops its grid with it).
+_TABLE_ADDRESS_GRIDS: "WeakKeyDictionary[AddressMap, List[List[int]]]" = \
+    WeakKeyDictionary()
 
 
 @dataclass
@@ -106,12 +112,16 @@ def build_warp_programs(
 
     # Table-entry addresses depend only on (table_id, index): resolving the
     # 5x256 grid up front replaces one method call per thread-lookup
-    # (16 per round per thread) with a list index.
-    table_addresses = [
-        [address_map.table_entry_address(table_id, index)
-         for index in range(256)]
-        for table_id in range(5)
-    ]
+    # (16 per round per thread) with a list index. The grid is a pure
+    # function of the address map, so it is cached across launches.
+    table_addresses = _TABLE_ADDRESS_GRIDS.get(address_map)
+    if table_addresses is None:
+        table_addresses = [
+            [address_map.table_entry_address(table_id, index)
+             for index in range(256)]
+            for table_id in range(5)
+        ]
+        _TABLE_ADDRESS_GRIDS[address_map] = table_addresses
 
     programs: List[WarpProgram] = []
     for warp_id in range(0, (len(traces) + warp_size - 1) // warp_size):

@@ -45,7 +45,7 @@ _PROCESS_NAMES: Dict[int, str] = {
 Number = Union[int, float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One typed simulator event.
 
@@ -101,18 +101,19 @@ class Tracer:
                  args: Optional[Dict[str, object]] = None) -> None:
         """Record a duration ("X") event."""
         self._recorded += 1
-        self._events.append(TraceEvent(name=name, cat=cat, ph="X", ts=ts,
-                                       dur=dur, pid=pid, tid=tid, args=args,
-                                       seq=self._recorded))
+        # Positional construction: this is the hottest instrumented call
+        # site (one per DRAM command and reply), and keyword binding on a
+        # 9-field dataclass is measurable there.
+        self._events.append(TraceEvent(name, cat, "X", ts, dur, pid, tid,
+                                       args, self._recorded))
 
     def instant(self, name: str, cat: str, ts: Number,
                 pid: int = PID_SM, tid: int = 0,
                 args: Optional[Dict[str, object]] = None) -> None:
         """Record a point-in-time ("i") event."""
         self._recorded += 1
-        self._events.append(TraceEvent(name=name, cat=cat, ph="i", ts=ts,
-                                       pid=pid, tid=tid, args=args,
-                                       seq=self._recorded))
+        self._events.append(TraceEvent(name, cat, "i", ts, None, pid, tid,
+                                       args, self._recorded))
 
     def advance_time_base(self, cycles: Number, gap: Number = 1000) -> None:
         """Shift the origin for the next kernel past the finished one."""

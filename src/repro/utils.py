@@ -17,6 +17,7 @@ __all__ = [
     "env_flag",
     "fast_mode",
     "batched_mode",
+    "batched_timing_mode",
     "scaled_samples",
     "atomic_write_bytes",
     "atomic_write_text",
@@ -76,6 +77,25 @@ def batched_mode(explicit: "Union[bool, None]" = None) -> bool:
     if explicit is not None:
         return bool(explicit)
     raw = os.environ.get("REPRO_BATCHED", "").lower()
+    if raw in {"0", "false", "no", "off"}:
+        return False
+    return True
+
+
+def batched_timing_mode(explicit: "Union[bool, None]" = None) -> bool:
+    """Resolve the exact-timing engine selection for timed phases.
+
+    Priority: an explicit ``ExperimentContext.batched_timing`` /
+    ``--batched-timing/--no-batched-timing`` setting, then the
+    ``REPRO_BATCHED_TIMING`` environment variable, then the default —
+    **on**, since the wavefront core produces a ``KernelResult``
+    identical to the event engine's on every launch it accepts and
+    falls back to the event engine otherwise (regression-proven by the
+    golden parity battery).
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("REPRO_BATCHED_TIMING", "").lower()
     if raw in {"0", "false", "no", "off"}:
         return False
     return True

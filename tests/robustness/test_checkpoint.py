@@ -18,9 +18,11 @@ from repro.gpu.config import GPUConfig
 
 
 def _fingerprint(**overrides):
-    ctx = ExperimentContext(root_seed=overrides.pop("root_seed", 11),
-                            samples=overrides.pop("samples", 8),
-                            batched=overrides.pop("batched", None))
+    ctx = ExperimentContext(
+        root_seed=overrides.pop("root_seed", 11),
+        samples=overrides.pop("samples", 8),
+        batched=overrides.pop("batched", None),
+        batched_timing=overrides.pop("batched_timing", None))
     return campaign_fingerprint(overrides.pop("experiment", "fig05"), ctx,
                                 overrides.pop("instrumented", False))
 
@@ -41,6 +43,17 @@ class TestFingerprint:
         assert _fingerprint()["batched"] is True
         assert _fingerprint(batched=False)["batched"] is False
         assert _fingerprint(batched=True) == _fingerprint()
+
+    def test_timing_engine_selection_is_pinned(self, monkeypatch):
+        # Same discipline for the exact-timing engine: the resolved
+        # selection is campaign identity, so a resume can never silently
+        # mix the wavefront core with the event engine.
+        monkeypatch.delenv("REPRO_BATCHED_TIMING", raising=False)
+        assert _fingerprint()["batched_timing"] is True
+        assert _fingerprint(batched_timing=False)["batched_timing"] is False
+        assert _fingerprint(batched_timing=True) == _fingerprint()
+        monkeypatch.setenv("REPRO_BATCHED_TIMING", "0")
+        assert _fingerprint()["batched_timing"] is False
 
     def test_config_hash_is_stable_and_sensitive(self):
         assert config_hash(None) == "default"
