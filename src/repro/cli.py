@@ -37,6 +37,18 @@ Campaign status (the run-ledger surface; docs/observability.md)::
     rcoal status runs/f7 --watch 2        # live, redrawn every 2 s
     rcoal status runs/f7 --gc             # drop superseded chunks,
                                           # compact the ledger
+
+Sharded execution (coordinator-free multi-worker; docs/robustness.md)::
+
+    rcoal shard runs/all &                # start any number of these —
+    rcoal shard runs/all &                # same dir, same args; they
+    rcoal shard runs/all                  # split the work via leases
+    rcoal shard runs/f7 fig07             # shard a single experiment
+    rcoal status runs/all --watch 2       # who holds which lease
+
+Every worker's stdout is byte-identical to the serial run's; kill any
+of them (even ``kill -9``) and the survivors reclaim its lease and
+finish the campaign.
 """
 
 from __future__ import annotations
@@ -710,6 +722,122 @@ def _build_status_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_shard_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcoal shard",
+        description="One coordinator-free campaign worker: claims phase "
+                    "chunks via atomic lease files in DIR, simulates "
+                    "them, commits checkpoint chunks, and releases. "
+                    "Launch any number of these against the same DIR "
+                    "(even from different hosts sharing it) with the "
+                    "same seed/sample arguments; they drain the "
+                    "campaign cooperatively, reclaim dead peers' "
+                    "leases after the deadline, and each produce "
+                    "stdout byte-identical to the serial run "
+                    "(see docs/robustness.md).",
+    )
+    parser.add_argument("dir", metavar="DIR",
+                        help="shared campaign directory (the --resume "
+                             "layout; 'all' uses DIR/<experiment>)")
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help="experiment id or 'all' (default: all)")
+    parser.add_argument("--worker", metavar="NAME", default=None,
+                        help="this worker's identity in leases and the "
+                             "ledger (default: <host>-<pid>)")
+    parser.add_argument("--lease-seconds", type=float, default=30.0,
+                        metavar="S",
+                        help="lease validity without renewal; peers "
+                             "reclaim a lease this long after its last "
+                             "heartbeat (default 30)")
+    parser.add_argument("--heartbeat-seconds", type=float, default=None,
+                        metavar="S",
+                        help="renewal interval (default: lease/3; must "
+                             "be shorter than the lease)")
+    parser.add_argument("--chunk", type=int, default=8, metavar="SAMPLES",
+                        help="work-item granularity in samples "
+                             "(default 8); must match across workers "
+                             "only for efficiency, never correctness")
+    parser.add_argument("--seed", type=int, default=2018,
+                        help="root experiment seed (default 2018)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override plaintext sample count")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="deterministic chaos, incl. the lease "
+                             "targets torn@lease / hang@lease / "
+                             "exit@lease / steal@lease (see repro.faults)")
+    parser.add_argument("--batched", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="counts-phase engine selection (as on the "
+                             "main command; part of the campaign "
+                             "fingerprint)")
+    parser.add_argument("--batched-timing", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="timed-phase engine selection (as on the "
+                             "main command; part of the campaign "
+                             "fingerprint)")
+    parser.add_argument("--progress", action="store_true",
+                        help="per-sample ETA reporting on stderr")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="enable repro.* logging on stderr")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the result rows as CSV "
+                             "(experiment id is appended for 'all')")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the result as JSON")
+    return parser
+
+
+def _run_shard_command(argv: List[str]) -> int:
+    args = _build_shard_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    from repro.experiments.shard import ShardPolicy
+    from repro.telemetry.journal import worker_id
+
+    policy = ShardPolicy(
+        worker=args.worker or worker_id(),
+        lease_seconds=args.lease_seconds,
+        heartbeat_seconds=args.heartbeat_seconds,
+        chunk_samples=args.chunk,
+    ).validate()
+    fields: dict = {}
+    if args.faults:
+        from repro.faults import install_plan, parse_fault_plan
+        plan = parse_fault_plan(args.faults)
+        install_plan(plan)
+        fields["faults"] = plan
+    ctx = ExperimentContext(root_seed=args.seed, samples=args.samples,
+                            progress=args.progress, batched=args.batched,
+                            batched_timing=args.batched_timing,
+                            shard=policy, **fields)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    multiple = len(ids) > 1
+    for experiment_id in ids:
+        run_ctx = ctx.with_(checkpoint=_open_store(
+            args.dir, experiment_id, ctx, multiple=multiple,
+            instrumented=False))
+        start = time.time()
+        result = run_experiment(experiment_id, run_ctx)
+        # stdout matches the serial `rcoal all` byte for byte — lease
+        # traffic, resume notes, and timing all go to stderr.
+        print(result.render())
+        print(f"[{experiment_id} completed in {time.time() - start:.1f}s]",
+              file=sys.stderr)
+        print()
+        if args.csv:
+            from repro.experiments.export import write_csv
+            target = (f"{args.csv}.{experiment_id}.csv" if multiple
+                      else args.csv)
+            print(f"[csv written to {write_csv(result, target)}]")
+        if args.json:
+            from repro.experiments.export import write_json
+            target = (f"{args.json}.{experiment_id}.json" if multiple
+                      else args.json)
+            print(f"[json written to {write_json(result, target)}]")
+    return EXIT_OK
+
+
 def _run_status_command(argv: List[str]) -> int:
     args = _build_status_parser().parse_args(argv)
     configure_logging(args.verbose)
@@ -720,10 +848,12 @@ def _run_status_command(argv: List[str]) -> int:
     )
     if args.gc:
         stats = gc_campaign(args.dir)
+        swept = (f", swept {stats['removed_leases']} stale lease(s)"
+                 if stats.get("removed_leases") else "")
         print(f"[gc: removed {stats['removed_chunks']} superseded "
-              f"chunk(s), kept {stats['kept_chunks']}; ledger compacted "
-              f"{stats['events_before']} -> {stats['events_after']} "
-              f"event(s)]", file=sys.stderr)
+              f"chunk(s), kept {stats['kept_chunks']}{swept}; ledger "
+              f"compacted {stats['events_before']} -> "
+              f"{stats['events_after']} event(s)]", file=sys.stderr)
 
     def render_once() -> None:
         manifest = campaign_manifest(args.dir,
@@ -772,6 +902,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return _run_bench_command(argv[1:])
     if argv and argv[0] == "status":
         return _run_status_command(argv[1:])
+    if argv and argv[0] == "shard":
+        return _run_shard_command(argv[1:])
 
     args = _build_parser().parse_args(argv)
     configure_logging(args.verbose)

@@ -108,6 +108,11 @@ class ExperimentContext:
     #: directory's ``events.jsonl``. None (the default) records nothing;
     #: resilient runs fall back to their checkpoint store's journal.
     journal: Optional[object] = None
+    #: Optional shard-worker policy (``repro.experiments.shard
+    #: .ShardPolicy``) for coordinator-free multi-process draining
+    #: (``rcoal shard``). When set (together with ``checkpoint``), every
+    #: collection phase routes through the lease-claiming shard loop.
+    shard: Optional[object] = None
 
     def sample_count(self, paper: int = 100, fast: int = 40) -> int:
         if self.samples is not None:
@@ -207,6 +212,13 @@ def collect_records(
     depend on the samples before it, a ``ctx.jobs > 1`` context fans the
     batch out across worker processes with bit-identical results.
     """
+    if ctx.shard is not None:
+        from repro.experiments.shard import collect_records_sharded
+        return collect_records_sharded(
+            ctx, policy, num_samples,
+            counts_only=counts_only,
+            retain_kernel_results=retain_kernel_results,
+        )
     if (ctx.supervision is not None or ctx.checkpoint is not None
             or ctx.faults is not None):
         from repro.experiments.runner import collect_records_resilient

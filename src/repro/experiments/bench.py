@@ -1,8 +1,8 @@
 """Repeatable performance benchmarks for the simulator substrate.
 
-``rcoal bench`` times four representative workloads and writes the
-numbers to a committed ``BENCH_<n>.json`` so every PR leaves a perf
-trajectory to regress against:
+``rcoal bench`` times representative workloads and writes the numbers
+to a committed ``BENCH_<n>.json`` so every PR leaves a perf trajectory
+to regress against:
 
 * ``timing_kernel`` — exact-cycle kernel simulation (the dominant cost
   of every figure): paper-shaped 32-line launches under ``rss_rts``,
@@ -21,6 +21,11 @@ trajectory to regress against:
   batched structure-of-arrays core (the default; ``ms_per_sample``)
   and the per-launch event path (``event_ms_per_sample``), with the
   speedup and a counts-equality check recorded;
+* ``shard_overhead`` — the counts workload drained through the
+  ``rcoal shard`` lease protocol with 1-sample chunks (the worst-case
+  per-work-item toll: lease create/renew/release plus ledger appends),
+  and a 2-worker same-host wall clock — an honest coordination-cost
+  number, not a speedup claim (one CPU, GIL-serialized);
 * ``fig07`` — one complete experiment harness end-to-end (collection
   for every mechanism in the subwarp sweep plus the corresponding
   attacks), the unit of ``rcoal all`` throughput. With ``--jobs N`` the
@@ -244,6 +249,84 @@ def run_bench(jobs: int = 1, samples: int = 12, lines: int = 256,
         "seconds_off": round(seconds, 4),
         "overhead_ratio": round(ledger_seconds / seconds, 2),
     }
+    counts_seconds = seconds
+
+    # -- sharded execution overhead (rcoal shard) ------------------------
+    # The same counts collection drained through the lease protocol:
+    # 1-sample chunks maximize the per-chunk toll (lease create + fsync,
+    # ledger claim/dispatch/done/release appends, chunk commit, lease
+    # unlink), so `overhead_ratio` is the worst-case price of crash
+    # tolerance per work item. The 2-worker number runs two in-process
+    # worker threads against one campaign dir; on this 1-CPU-bound,
+    # GIL-serialized simulator it measures *coordination* cost, not
+    # speedup — real shard scaling needs separate processes (ideally
+    # hosts), which is exactly what the chaos-shard CI job exercises.
+    from repro.experiments.checkpoint import (
+        CheckpointStore,
+        campaign_fingerprint,
+    )
+    from repro.experiments.shard import ShardPolicy
+
+    def _shard_worker(tmp: str, name: str):
+        store = CheckpointStore.open(
+            os.path.join(tmp, "run"),
+            campaign_fingerprint("bench-shard", ctx, instrumented=False))
+        sctx = ctx.with_(batched=True, checkpoint=store,
+                         shard=ShardPolicy(worker=name,
+                                           lease_seconds=30.0,
+                                           chunk_samples=1))
+        return collect_records(sctx, policy, COUNTS_SAMPLES,
+                               counts_only=True)
+
+    log.info("bench: shard_overhead (%d samples, 1-sample chunks)",
+             COUNTS_SAMPLES)
+
+    def _shard_solo():
+        with tempfile.TemporaryDirectory() as tmp:
+            return _shard_worker(tmp, "bench-w1")
+
+    shard_seconds, collected = _best_of(_shard_solo, repeat)
+    _, shard_records = collected
+
+    def _shard_pair():
+        import threading
+        with tempfile.TemporaryDirectory() as tmp:
+            results: Dict[str, object] = {}
+
+            def drain(name: str) -> None:
+                results[name] = _shard_worker(tmp, name)[1]
+
+            threads = [threading.Thread(target=drain, args=(name,))
+                       for name in ("bench-w1", "bench-w2")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return results
+
+    log.info("bench: shard_overhead (2 worker threads, shared dir)")
+    pair_seconds, pair_results = _best_of(_shard_pair, repeat)
+    workloads["shard_overhead"] = {
+        "description": "counts_sweep drained via the shard lease "
+                       "protocol, 1-sample chunks (worst-case lease + "
+                       "heartbeat + commit toll per work item); the "
+                       "2-worker wall clock is same-host threads on a "
+                       "GIL-serialized simulator — coordination cost, "
+                       "not a speedup claim",
+        "samples": COUNTS_SAMPLES,
+        "chunks": COUNTS_SAMPLES,
+        "seconds": round(shard_seconds, 4),
+        "seconds_off": round(counts_seconds, 4),
+        "overhead_ratio": round(shard_seconds / counts_seconds, 2),
+        "lease_ms_per_chunk": round(
+            max(0.0, shard_seconds - counts_seconds)
+            / COUNTS_SAMPLES * 1e3, 2),
+        "workers2_seconds": round(pair_seconds, 4),
+        "records_identical": (
+            shard_records == batched_records
+            and all(result == batched_records
+                    for result in pair_results.values())),
+    }
 
     # -- one full experiment harness -------------------------------------
     from repro.experiments.registry import run_experiment
@@ -344,7 +427,8 @@ def render_report(report: Dict[str, object]) -> str:
                     "event_ms_per_launch", "event_ms_per_sample",
                     "speedup_vs_event", "counts_identical",
                     "cycles_identical", "overhead_ratio",
-                    "appends_per_second"):
+                    "appends_per_second", "lease_ms_per_chunk",
+                    "workers2_seconds", "records_identical"):
             if key in data:
                 parts.append(f"{key}={data[key]}")
         lines.append("  ".join(parts))

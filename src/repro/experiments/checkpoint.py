@@ -59,10 +59,12 @@ __all__ = [
     "ChunkResult",
     "CheckpointStore",
     "campaign_fingerprint",
+    "chunk_name",
     "chunk_spans",
     "config_hash",
     "phase_dir_name",
     "phase_label",
+    "shard_spans",
 ]
 
 log = get_logger(__name__)
@@ -152,6 +154,28 @@ def phase_label(ctx, policy, num_samples: int, counts_only: bool,
             f"|counts={int(counts_only)}"
             f"|retain={int(retain_kernel_results)}"
             f"|lines={ctx.lines}|cfg={config_hash(ctx.config)}")
+
+
+def chunk_name(start: int, end: int) -> str:
+    """The chunk file name for the inclusive sample span ``[start, end]``."""
+    return f"chunk-{start:05d}-{end:05d}.pkl"
+
+
+def shard_spans(num_samples: int,
+                chunk_samples: int) -> List[Tuple[int, int]]:
+    """Fixed-boundary work items for sharded execution (inclusive spans).
+
+    Unlike :func:`repro.experiments.runner._contiguous_chunks` — which
+    chunks whatever happens to be *missing* — these boundaries depend
+    only on ``(num_samples, chunk_samples)``, so every shard worker
+    enumerates the identical work list and lease files (named by span)
+    mean the same unit of work to all of them. A span partially covered
+    by an earlier non-shard run is simply re-simulated whole: samples
+    are deterministic, and the fold dedupes by index.
+    """
+    size = max(1, chunk_samples)
+    return [(start, min(start + size, num_samples) - 1)
+            for start in range(0, num_samples, size)]
 
 
 def chunk_spans(directory: Union[str, Path]) -> List[Tuple[int, int]]:
@@ -274,13 +298,34 @@ class CheckpointStore:
     def save_chunk(self, label: str, chunk: ChunkResult) -> Path:
         """Persist one completed chunk, atomically."""
         directory = self.phase_dir(label, make=True)
-        path = directory / (f"chunk-{chunk.indices[0]:05d}-"
-                            f"{chunk.indices[-1]:05d}.pkl")
+        path = directory / chunk_name(chunk.indices[0], chunk.indices[-1])
         written = atomic_write_bytes(path, pickle.dumps(chunk, protocol=4))
         self.journal.append("checkpoint_save", phase=label,
                             start=chunk.indices[0], end=chunk.indices[-1],
                             samples=len(chunk.indices))
         return written
+
+    def has_chunk(self, label: str, start: int, end: int) -> bool:
+        """Whether the exact span ``[start, end]`` is already committed."""
+        return (self.phase_dir(label) / chunk_name(start, end)).is_file()
+
+    def commit_chunk(self, label: str, chunk: ChunkResult) -> bool:
+        """Duplicate-tolerant :meth:`save_chunk` for sharded execution.
+
+        A chunk file that already exists is complete and correct — it was
+        written atomically, and every worker computes identical bytes for
+        the same span — so a second commit (a stolen lease's original
+        owner finishing late, or two workers that raced past the lease
+        layer entirely) is a no-op that leaves the existing file's bytes
+        untouched. Returns whether *this* call persisted the chunk.
+        """
+        if self.has_chunk(label, chunk.indices[0], chunk.indices[-1]):
+            self.journal.append("checkpoint_duplicate", phase=label,
+                                start=chunk.indices[0],
+                                end=chunk.indices[-1])
+            return False
+        self.save_chunk(label, chunk)
+        return True
 
     # -- quarantine report ----------------------------------------------------
 

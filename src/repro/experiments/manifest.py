@@ -113,12 +113,27 @@ def _new_phase(label: str) -> dict:
             "quarantined": 0, "retries": 0, "splits": 0,
             "dispatched": 0, "chunks_done": 0, "engine": None,
             "mode": None, "state": "unknown", "seconds": None,
+            "lease_claims": 0, "lease_steals": 0,
             "histogram": Histogram("latency_ms", DEFAULT_BUCKETS)}
 
 
+def _new_worker_lane(event: dict) -> dict:
+    return {"pid": event.get("pid"), "events": 0, "claims": 0,
+            "heartbeats": 0, "steals": 0, "releases": 0,
+            "chunks_done": 0, "renewals": 0, "last_ts": None,
+            "last_heartbeat_ts": None}
+
+
 def _fold_events(events: List[dict], phases: Dict[str, dict],
-                 lanes: Dict[str, dict]) -> None:
-    """Accumulate one ledger's events into phase + lane summaries."""
+                 lanes: Dict[str, dict],
+                 workers: Optional[Dict[str, dict]] = None) -> None:
+    """Accumulate one ledger's events into phase + lane summaries.
+
+    ``workers`` (when given) collects per-worker lanes from events that
+    carry a ``worker`` field — the shard lease protocol's claims,
+    heartbeats, steals, releases, and chunk completions — so ``rcoal
+    status`` can show who held what even after the lease files are gone.
+    """
     for event in events:
         pid = str(event.get("pid", "?"))
         lane = lanes.setdefault(pid, {"events": 0, "first_ts": None,
@@ -131,6 +146,27 @@ def _fold_events(events: List[dict], phases: Dict[str, dict],
             if lane["last_ts"] is None or ts > lane["last_ts"]:
                 lane["last_ts"] = ts
         kind = event.get("kind")
+        worker = event.get("worker")
+        if workers is not None and isinstance(worker, str):
+            wlane = workers.setdefault(worker, _new_worker_lane(event))
+            wlane["events"] += 1
+            if isinstance(ts, (int, float)) and \
+                    (wlane["last_ts"] is None or ts > wlane["last_ts"]):
+                wlane["last_ts"] = ts
+            if kind == "lease_claim":
+                wlane["claims"] += 1
+            elif kind == "lease_heartbeat":
+                wlane["heartbeats"] += 1
+                wlane["renewals"] = max(
+                    wlane["renewals"], int(event.get("renewals", 0) or 0))
+                if isinstance(ts, (int, float)):
+                    wlane["last_heartbeat_ts"] = ts
+            elif kind == "lease_steal":
+                wlane["steals"] += 1
+            elif kind == "lease_release":
+                wlane["releases"] += 1
+            elif kind == "chunk_done":
+                wlane["chunks_done"] += 1
         label = event.get("phase")
         if not isinstance(label, str):
             continue
@@ -164,11 +200,19 @@ def _fold_events(events: List[dict], phases: Dict[str, dict],
             phase["splits"] += 1
         elif kind == "chunk_quarantine":
             phase["quarantined"] += 1
+        elif kind == "lease_claim":
+            phase["lease_claims"] += 1
+        elif kind == "lease_steal":
+            phase["lease_steals"] += 1
         elif kind == "compacted":
             phase["dispatched"] += int(event.get("dispatched", 0) or 0)
             phase["chunks_done"] += int(event.get("chunks_done", 0) or 0)
             phase["retries"] += int(event.get("retries", 0) or 0)
             phase["splits"] += int(event.get("splits", 0) or 0)
+            phase["lease_claims"] += int(
+                event.get("lease_claims", 0) or 0)
+            phase["lease_steals"] += int(
+                event.get("lease_steals", 0) or 0)
             latency = event.get("latency")
             if isinstance(latency, dict):
                 stored = Histogram("latency_ms", latency["buckets"])
@@ -180,8 +224,46 @@ def _fold_events(events: List[dict], phases: Dict[str, dict],
                     phase["histogram"].merge_from(stored)
 
 
-def _experiment_view(run_dir: Path) -> dict:
+def _lease_census(phase_dir: Path, label: str,
+                  now: float) -> List[dict]:
+    """The live lease table of one phase directory, from its files.
+
+    Uses the shard layer's own reader, so a torn lease file reports as
+    ``torn`` (= stale = reclaimable) here exactly as a worker sees it.
+    """
+    from repro.experiments.shard import LEASE_NAME, parse_lease
+
+    leases: List[dict] = []
+    try:
+        names = sorted(os.listdir(phase_dir))
+    except OSError:
+        return leases
+    for name in names:
+        if not LEASE_NAME.fullmatch(name):
+            continue
+        lease = parse_lease(phase_dir / name)
+        if lease is None:
+            continue  # released between listing and reading
+        last = lease.renewed or lease.created
+        leases.append({
+            "phase": label, "start": lease.start, "end": lease.end,
+            "owner": lease.owner, "host": lease.host, "pid": lease.pid,
+            "renewals": lease.renewals,
+            "state": ("torn" if lease.torn
+                      else "stale" if lease.stale(now) else "live"),
+            "age_seconds": (round(now - last, 3)
+                            if isinstance(last, (int, float)) else None),
+            "expires_in_seconds": (round(lease.deadline - now, 3)
+                                   if lease.deadline is not None
+                                   else None),
+        })
+    return leases
+
+
+def _experiment_view(run_dir: Path,
+                     now: Optional[float] = None) -> dict:
     """One run directory's manifest entry (ledger + checkpoint census)."""
+    now = time.time() if now is None else now
     try:
         with open(run_dir / "manifest.json", "r", encoding="utf-8") as fh:
             fingerprint = json.load(fh)
@@ -190,13 +272,17 @@ def _experiment_view(run_dir: Path) -> dict:
     events = read_journal(run_dir / JOURNAL_NAME)
     phases: Dict[str, dict] = {}
     lanes: Dict[str, dict] = {}
-    _fold_events(events, phases, lanes)
+    workers: Dict[str, dict] = {}
+    _fold_events(events, phases, lanes, workers)
 
     # Checkpoint ground truth: count completed samples from chunk file
     # names; phase dirs the (possibly lost) ledger never mentioned still
-    # show up, keyed by their directory name.
+    # show up, keyed by their directory name. Lease files in the same
+    # directories are the *live* shard claim table (the ledger only has
+    # their history).
     phases_root = run_dir / "phases"
     named_dirs = {phase_dir_name(label): label for label in phases}
+    leases: List[dict] = []
     if phases_root.is_dir():
         for child in sorted(phases_root.iterdir()):
             if not child.is_dir():
@@ -204,6 +290,7 @@ def _experiment_view(run_dir: Path) -> dict:
             label = named_dirs.get(child.name, child.name)
             phase = phases.setdefault(label, _new_phase(label))
             phase["completed"] = _span_union(chunk_spans(child))
+            leases.extend(_lease_census(child, label, now))
 
     total = done = remaining = quarantined = 0
     for phase in phases.values():
@@ -226,6 +313,8 @@ def _experiment_view(run_dir: Path) -> dict:
         "fingerprint": fingerprint,
         "phases": [phases[label] for label in sorted(phases)],
         "lanes": lanes,
+        "workers": workers,
+        "leases": leases,
         "events": len(events),
         "last_event_ts": newest.get("ts") if newest else None,
         "totals": {"samples": total, "completed": done,
@@ -251,17 +340,38 @@ def campaign_manifest(root: Union[str, Path],
             f"(manifest.json) or a campaign root containing one per "
             f"experiment"
         )
-    experiments = [_experiment_view(run_dir) for run_dir in runs]
+    now = time.time() if now is None else now
+    experiments = [_experiment_view(run_dir, now=now) for run_dir in runs]
 
     totals = {"samples": 0, "completed": 0, "remaining": 0,
               "quarantined": 0, "retries": 0, "splits": 0}
     last_ts = None
+    workers: Dict[str, dict] = {}
+    stale_leases: List[dict] = []
     for view in experiments:
         for key in totals:
             totals[key] += view["totals"][key]
         if view["last_event_ts"] is not None and \
                 (last_ts is None or view["last_event_ts"] > last_ts):
             last_ts = view["last_event_ts"]
+        for name, lane in view["workers"].items():
+            if name not in workers:
+                workers[name] = dict(lane)
+                continue
+            merged = workers[name]
+            for key in ("events", "claims", "heartbeats", "steals",
+                        "releases", "chunks_done"):
+                merged[key] += lane[key]
+            merged["renewals"] = max(merged["renewals"],
+                                     lane["renewals"])
+            for key in ("last_ts", "last_heartbeat_ts"):
+                if lane[key] is not None and \
+                        (merged[key] is None
+                         or lane[key] > merged[key]):
+                    merged[key] = lane[key]
+        stale_leases.extend(
+            dict(lease, experiment=view["experiment"])
+            for lease in view["leases"] if lease["state"] != "live")
     for event in root_events:
         ts = event.get("ts")
         if isinstance(ts, (int, float)) and (last_ts is None
@@ -271,11 +381,16 @@ def campaign_manifest(root: Union[str, Path],
     open_phases = [phase["phase"] for view in experiments
                    for phase in view["phases"]
                    if phase["state"] == "in-progress"]
-    now = time.time() if now is None else now
     age = round(now - last_ts, 3) if last_ts is not None else None
     if totals["samples"] and totals["remaining"] == 0 and not open_phases:
         status = "complete"
     elif open_phases and age is not None and age > stall_after:
+        status = "stalled"
+    elif stale_leases:
+        # A stale (or torn) lease is a worker that stopped heartbeating
+        # mid-chunk — the shard-era face of a stall. Live peers reclaim
+        # it within the lease deadline; one that *persists* across
+        # --watch redraws means nobody is left to steal it.
         status = "stalled"
     else:
         status = "in-progress"
@@ -284,6 +399,8 @@ def campaign_manifest(root: Union[str, Path],
         "status": status,
         "experiments": experiments,
         "totals": totals,
+        "workers": workers,
+        "stale_leases": stale_leases,
         "open_phases": open_phases,
         "last_event_age_seconds": age,
         "root_events": len(root_events),
@@ -300,7 +417,8 @@ def campaign_health(root: Union[str, Path],
     no process has written any event for ``stall_after`` seconds.
     """
     root = Path(root)
-    ledgers = [run / JOURNAL_NAME for run in discover_run_dirs(root)]
+    runs = discover_run_dirs(root)
+    ledgers = [run / JOURNAL_NAME for run in runs]
     if (root / JOURNAL_NAME).is_file() \
             and root / JOURNAL_NAME not in ledgers:
         ledgers.append(root / JOURNAL_NAME)
@@ -322,14 +440,45 @@ def campaign_health(root: Union[str, Path],
                 started[label] = False
         open_phases.extend(label for label, is_open in started.items()
                            if is_open)
-    age = round(time.time() - last_ts, 3) if last_ts is not None else None
-    stalled = bool(open_phases) and age is not None and age > stall_after
+    # Shard lease files: a stale one is a worker that stopped
+    # heartbeating mid-chunk — same degraded condition as ledger
+    # silence, but attributable to an owner. Costs one directory
+    # listing per phase dir (the files are tiny), so the 1 Hz poll
+    # stays cheap.
+    now = time.time()
+    leases = stale = 0
+    stalled_worker = None
+    for run_dir in runs:
+        phases_root = run_dir / "phases"
+        if not phases_root.is_dir():
+            continue
+        for child in sorted(phases_root.iterdir()):
+            if not child.is_dir():
+                continue
+            for lease in _lease_census(child, child.name, now):
+                leases += 1
+                if lease["state"] != "live":
+                    stale += 1
+                    if stalled_worker is None:
+                        stalled_worker = lease["owner"] or "torn-lease"
+    age = round(now - last_ts, 3) if last_ts is not None else None
+    # A stale lease only stalls a campaign with open work: on a
+    # finished campaign it is litter from a worker whose span a peer
+    # already covered (GC sweeps it), matching campaign_manifest's
+    # status precedence where complete beats stalled.
+    stalled = bool(open_phases) and ((age is not None
+                                      and age > stall_after)
+                                     or stale > 0)
     return {
         "ledgers": len(ledgers),
         "last_event_age_seconds": age,
         "open_phases": open_phases,
+        "leases": leases,
+        "stale_leases": stale,
+        "stalled_worker": stalled_worker,
         "stalled": stalled,
-        "stalled_phase": open_phases[0] if stalled else None,
+        "stalled_phase": open_phases[0] if stalled and open_phases
+        else None,
     }
 
 
@@ -375,6 +524,31 @@ def render_manifest(manifest: dict) -> str:
     age = manifest["last_event_age_seconds"]
     if age is not None:
         lines.append(f"last ledger event: {age:.1f}s ago")
+    workers = manifest.get("workers") or {}
+    if workers:
+        lines.append("workers:")
+        now = time.time()
+        for name in sorted(workers):
+            lane = workers[name]
+            beat = lane.get("last_heartbeat_ts") or lane.get("last_ts")
+            beat_note = (f"last heartbeat {now - beat:.1f}s ago"
+                         if isinstance(beat, (int, float)) else
+                         "no heartbeat recorded")
+            lines.append(
+                f"  {name} (pid {lane.get('pid', '?')}): "
+                f"claims={lane['claims']} done={lane['chunks_done']} "
+                f"steals={lane['steals']} releases={lane['releases']} "
+                f"heartbeats={lane['heartbeats']}, {beat_note}")
+    for lease in manifest.get("stale_leases") or []:
+        lines.append(
+            f"stale lease: samples {lease['start']}-{lease['end']} of "
+            f"{lease['experiment']} held by "
+            f"{lease['owner'] or 'a torn lease'}"
+            + (f" (pid {lease['pid']} on {lease['host']})"
+               if lease.get("pid") else "")
+            + (f", silent {lease['age_seconds']:.1f}s"
+               if lease.get("age_seconds") is not None else "")
+            + " — reclaimable by any worker")
     return "\n".join(lines)
 
 
@@ -449,6 +623,8 @@ def compact_journal(path: Union[str, Path]) -> Tuple[int, int]:
             "dispatched": phase["dispatched"],
             "chunks_done": phase["chunks_done"],
             "retries": phase["retries"], "splits": phase["splits"],
+            "lease_claims": phase["lease_claims"],
+            "lease_steals": phase["lease_steals"],
             "latency": {"buckets": list(histogram.buckets),
                         "counts": list(histogram.counts),
                         "count": histogram.count,
@@ -478,10 +654,13 @@ def gc_campaign(root: Union[str, Path]) -> dict:
             f"no campaign found at {root}; nothing to gc"
         )
     stats = {"removed_chunks": 0, "kept_chunks": 0,
+             "removed_leases": 0,
              "events_before": 0, "events_after": 0}
     ledgers = [run / JOURNAL_NAME for run in runs]
     if runs != [root] and (root / JOURNAL_NAME).is_file():
         ledgers.append(root / JOURNAL_NAME)
+    from repro.experiments.shard import lease_name
+    now = time.time()
     for run_dir in runs:
         phases_root = run_dir / "phases"
         if phases_root.is_dir():
@@ -490,6 +669,19 @@ def gc_campaign(root: Union[str, Path]) -> dict:
                     removed, kept = _gc_phase_dir(child)
                     stats["removed_chunks"] += removed
                     stats["kept_chunks"] += kept
+                    # Stale/torn lease litter (a dead worker whose span
+                    # peers covered) is safe to sweep: any worker would
+                    # reclaim it anyway, and a *live* lease is never
+                    # touched.
+                    for lease in _lease_census(child, child.name, now):
+                        if lease["state"] != "live":
+                            try:
+                                os.unlink(
+                                    child / lease_name(lease["start"],
+                                                       lease["end"]))
+                                stats["removed_leases"] += 1
+                            except OSError:
+                                pass
     for ledger in ledgers:
         if not ledger.is_file():
             continue

@@ -517,7 +517,7 @@ def _worker_context(ctx: ExperimentContext) -> ExperimentContext:
     tree level."""
     return ctx.with_(telemetry=None, progress=False, jobs=1,
                      supervision=None, faults=None, checkpoint=None,
-                     campaign=None, journal=None,
+                     campaign=None, journal=None, shard=None,
                      batched=batched_mode(ctx.batched),
                      batched_timing=batched_timing_mode(ctx.batched_timing))
 

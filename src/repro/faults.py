@@ -18,13 +18,24 @@ picklable description of which faults fire where:
   raised *before* the atomic rename, modelling a crash mid-write. The
   destination must be untouched — that is the property the atomic writer
   exists to provide.
+* **lease faults** (any kind at the literal target ``lease``) fire at a
+  shard worker's lease sites (``rcoal shard``): ``torn@lease`` tears the
+  lease-file write (peers must treat the torn file like a torn ledger
+  tail — stale, reclaimable), ``hang@lease`` blocks the worker right
+  after it claims (heartbeats stop, peers reclaim after the deadline),
+  ``exit@lease`` kills the worker process mid-lease (the SIGKILL model),
+  ``raise@lease`` crashes it with a traceback, and ``steal@lease``
+  expires the worker's own lease while it keeps working — forcing the
+  stolen-lease double-commit path that idempotence must absorb.
 
 Plan syntax (the ``--faults`` CLI flag)::
 
     plan   := spec ("," spec)*
     spec   := kind "@" target ["x" times]
-    kind   := "raise" | "hang" | "exit" | "torn"
-    target := <sample index> | "rand" | <file name glob>   (glob: torn only)
+    kind   := "raise" | "hang" | "exit" | "torn" | "steal"
+    target := <sample index> | "rand" | "lease"
+              | <file name glob>                 (glob: torn only;
+                                                  "lease": shard only)
     times  := <positive int> | "*"                          (default 1)
 
 Examples: ``raise@3`` (sample 3 fails once, a retry succeeds),
@@ -61,7 +72,10 @@ __all__ = [
 ]
 
 SAMPLE_KINDS = ("raise", "hang", "exit")
-KINDS = SAMPLE_KINDS + ("torn",)
+KINDS = SAMPLE_KINDS + ("torn", "steal")
+
+#: The literal target that aims a fault at a shard worker's lease sites.
+LEASE_TARGET = "lease"
 
 #: Exit status used by ``exit`` faults; distinctive in worker post-mortems.
 EXIT_STATUS = 117
@@ -160,13 +174,38 @@ class FaultPlan:
             # hang: block forever; the chunk deadline reaps the worker.
             threading.Event().wait()
 
+    # -- lease-site faults (rcoal shard) --------------------------------------
+
+    def lease_write_torn(self) -> Optional[FaultSpec]:
+        """The ``torn@lease`` spec whose budget remains, if any; consumes
+        one firing. Checked inside the shard lease-file writer."""
+        return self._consume_lease(("torn",))
+
+    def lease_claim_fault(self) -> Optional[FaultSpec]:
+        """The next due ``raise``/``hang``/``exit``/``steal`` lease fault,
+        if any; consumes one firing. Checked right after a shard worker
+        wins a lease claim — the caller acts the kind out (the lease layer
+        owns the semantics, unlike sample faults which fire here)."""
+        return self._consume_lease(SAMPLE_KINDS + ("steal",))
+
+    def _consume_lease(self, kinds: Tuple[str, ...]) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.target != LEASE_TARGET or spec.kind not in kinds:
+                continue
+            fired = _LEASE_FIRES.get(spec, 0)
+            if spec.times is None or fired < spec.times:
+                _LEASE_FIRES[spec] = fired + 1
+                return spec
+        return None
+
     # -- write-site faults ----------------------------------------------------
 
     def torn_write_fires(self, name: str) -> Optional[FaultSpec]:
         """The torn spec matching file ``name`` whose budget remains, if
         any. Consumes one firing from the per-process budget."""
         for spec in self.specs:
-            if spec.kind != "torn" or not fnmatch.fnmatch(name, spec.target):
+            if spec.kind != "torn" or spec.target == LEASE_TARGET \
+                    or not fnmatch.fnmatch(name, spec.target):
                 continue
             fired = _WRITE_FIRES.get(spec, 0)
             if spec.times is None or fired < spec.times:
@@ -196,11 +235,15 @@ def parse_fault_plan(text: str) -> FaultPlan:
             elif tail.isdigit() and int(tail) > 0:
                 target, times = head, int(tail)
             # otherwise the x belongs to the target (e.g. a file glob)
-        if kind in SAMPLE_KINDS and target != "rand" \
+        if kind == "steal" and target != LEASE_TARGET:
+            raise ConfigurationError(
+                f"invalid fault spec {raw!r}: steal targets 'lease' only"
+            )
+        if kind in SAMPLE_KINDS and target not in ("rand", LEASE_TARGET) \
                 and not target.isdigit():
             raise ConfigurationError(
                 f"invalid fault spec {raw!r}: {kind} targets a sample "
-                f"index or 'rand'"
+                f"index, 'rand', or 'lease'"
             )
         specs.append(FaultSpec(kind, target, times))
     if not specs:
@@ -216,14 +259,16 @@ def parse_fault_plan(text: str) -> FaultPlan:
 
 _ACTIVE_PLAN: Optional[FaultPlan] = None
 _WRITE_FIRES: Dict[FaultSpec, int] = {}
+_LEASE_FIRES: Dict[FaultSpec, int] = {}
 
 
 def install_plan(plan: Optional[FaultPlan]) -> None:
     """Install (or clear, with ``None``) the process-wide fault plan and
-    reset the torn-write budgets."""
+    reset the torn-write and lease-site budgets."""
     global _ACTIVE_PLAN
     _ACTIVE_PLAN = plan
     _WRITE_FIRES.clear()
+    _LEASE_FIRES.clear()
 
 
 def active_plan() -> Optional[FaultPlan]:

@@ -45,16 +45,39 @@ from repro.telemetry.log import get_logger
 
 __all__ = [
     "JOURNAL_NAME",
+    "LEASE_KINDS",
     "RunJournal",
     "events_since",
     "last_event",
     "read_journal",
+    "worker_id",
 ]
 
 log = get_logger(__name__)
 
 #: File name of the ledger inside a campaign/checkpoint directory.
 JOURNAL_NAME = "events.jsonl"
+
+#: Lease-protocol events shard workers (``rcoal shard``) append: claims,
+#: heartbeat renewals, stale-lease steals, and releases. Every one
+#: carries a ``worker`` field (see :func:`worker_id`), so the manifest
+#: can fold the ledger into per-worker lanes even after the lease files
+#: themselves are gone.
+LEASE_KINDS = frozenset({
+    "lease_claim", "lease_heartbeat", "lease_steal", "lease_release",
+})
+
+
+def worker_id() -> str:
+    """A shard worker's default identity: ``<host>-<pid>``.
+
+    Hostname and pid together stay unique across the multi-host
+    shared-directory deployments ``rcoal shard`` targets; operators and
+    tests can pin a stable, human-readable name via ``--worker`` instead.
+    """
+    import socket
+
+    return f"{socket.gethostname()}-{os.getpid()}"
 
 
 class RunJournal:

@@ -357,6 +357,10 @@ class TelemetryServer:
             if probe["stalled"]:
                 payload["status"] = "degraded"
                 payload["stalled_phase"] = probe["stalled_phase"]
+                if probe.get("stalled_worker"):
+                    # A shard worker stopped heartbeating mid-lease:
+                    # name who is stuck, not just which phase.
+                    payload["stalled_worker"] = probe["stalled_worker"]
         return payload
 
     def metrics_json(self) -> str:
@@ -602,6 +606,13 @@ _DASHBOARD_HTML = """<!DOCTYPE html>
                <th>state</th></tr></thead>
     <tbody></tbody>
   </table>
+  <table id="campaign-workers" hidden>
+    <thead><tr><th>worker</th><th class="num">pid</th>
+               <th class="num">claims</th><th class="num">done</th>
+               <th class="num">steals</th><th class="num">heartbeats</th>
+               <th>last heartbeat</th></tr></thead>
+    <tbody></tbody>
+  </table>
   <div class="meta" id="campaign-meta"></div>
 </section>
 
@@ -792,6 +803,23 @@ function renderCampaign(campaign, health) {
     }
   document.querySelector("#campaign-table tbody").innerHTML =
     rows.join("") || '<tr><td colspan="8" class="muted">no phases yet</td></tr>';
+  const workers = m.workers || {};
+  const names = Object.keys(workers).sort();
+  const wtable = document.getElementById("campaign-workers");
+  wtable.hidden = names.length === 0;
+  const nowS = Date.now() / 1000;
+  wtable.querySelector("tbody").innerHTML = names.map(name => {
+    const w = workers[name];
+    const beat = w.last_heartbeat_ts || w.last_ts;
+    return "<tr><td>" + esc(name) + '</td><td class="num">'
+      + (w.pid == null ? "\\u2013" : w.pid)
+      + '</td><td class="num">' + fmt(w.claims)
+      + '</td><td class="num">' + fmt(w.chunks_done)
+      + '</td><td class="num">' + fmt(w.steals)
+      + '</td><td class="num">' + fmt(w.heartbeats) + "</td><td>"
+      + (beat ? (nowS - beat).toFixed(1) + "s ago" : "\\u2013")
+      + "</td></tr>";
+  }).join("");
   const t = m.totals;
   let meta = esc(m.root) + " \\u00b7 " + m.status + " \\u00b7 "
     + fmt(t.completed) + "/" + fmt(t.samples) + " samples";
@@ -801,6 +829,10 @@ function renderCampaign(campaign, health) {
   if (health.stalled_phase)
     meta += ' \\u00b7 <span class="stalled">stalled: '
       + esc(health.stalled_phase.split("|")[0]) + "</span>";
+  for (const lease of m.stale_leases || [])
+    meta += ' \\u00b7 <span class="stalled">stale lease '
+      + lease.start + "\\u2013" + lease.end + " ("
+      + esc(lease.owner || "torn") + ")</span>";
   document.getElementById("campaign-meta").innerHTML = meta;
 }
 

@@ -72,11 +72,11 @@ class TestCheckBenchFloors:
         assert all("not present" in v for v in violations)
 
     def test_committed_floors_match_the_committed_bench(self):
-        # The repo-level invariant CI relies on: the committed BENCH_6
-        # report clears the committed floors. (BENCH_5 predates the
-        # timing-engine keys the floors now gate, so only the newest
+        # The repo-level invariant CI relies on: the committed BENCH_7
+        # report clears the committed floors. (BENCH_6 predates the
+        # shard_overhead keys the floors now gate, so only the newest
         # report carries the full contract.)
-        with open(REPO_ROOT / "BENCH_6.json", encoding="utf-8") as handle:
+        with open(REPO_ROOT / "BENCH_7.json", encoding="utf-8") as handle:
             committed = json.load(handle)
         assert check_bench_floors(
             committed, str(REPO_ROOT / "BENCH_FLOORS.json")) == []

@@ -247,6 +247,128 @@ class TestGarbageCollection:
         assert after["totals"]["retries"] == retries
 
 
+class TestShardStatus:
+    """The status plane of sharded campaigns: per-worker lanes from the
+    ledger, the lease-file census, and stale leases folding into stall
+    detection."""
+
+    def _sharded_run(self, run_dir):
+        from repro.experiments.shard import ShardPolicy
+        ctx = _ctx(shard=ShardPolicy("w1", chunk_samples=4))
+        collect_records(ctx.with_(checkpoint=_store(run_dir, ctx)),
+                        POLICY, SAMPLES, counts_only=True)
+        return ctx
+
+    def _plant_lease(self, run_dir, ctx, body):
+        """Drop a lease file into the campaign's phase directory."""
+        label = phase_label(ctx, POLICY, SAMPLES, True, False)
+        path = _store(run_dir, ctx).phase_dir(label) \
+            / "lease-00000-00003.json"
+        path.write_bytes(body)
+        return path
+
+    def test_worker_lanes_fold_from_ledger_events(self, tmp_path):
+        run = tmp_path / "camp"
+        self._sharded_run(run)
+        manifest = campaign_manifest(run, stall_after=1e9)
+        assert manifest["status"] == "complete"
+        lane = manifest["workers"]["w1"]
+        assert lane["claims"] == 3        # 12 samples / 4 per chunk
+        assert lane["chunks_done"] == 3
+        assert lane["releases"] == 3
+        phase, = manifest["experiments"][0]["phases"]
+        assert phase["lease_claims"] == 3
+        text = render_manifest(manifest)
+        assert "workers:" in text and "w1" in text
+
+    def test_stale_lease_marks_campaign_stalled(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        self._plant_lease(run, ctx, json.dumps({
+            "owner": "ghost", "host": "h", "pid": 1,
+            "created": 1.0, "renewed": 1.0, "renewals": 0,
+            "deadline": 2.0}).encode())
+        # Even with an infinite ledger-silence budget: a persistent
+        # stale lease means a worker died and nobody is left to steal.
+        manifest = campaign_manifest(run, stall_after=1e9)
+        assert manifest["status"] == "stalled"
+        stale, = manifest["stale_leases"]
+        assert stale["owner"] == "ghost" and stale["state"] == "stale"
+        probe = campaign_health(run, stall_after=1e9)
+        assert probe["stalled"] is True
+        assert probe["stalled_worker"] == "ghost"
+        text = render_manifest(manifest)
+        assert "stale lease" in text and "reclaimable" in text
+
+    def test_torn_lease_reports_torn_never_crashes(self, tmp_path):
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        self._plant_lease(run, ctx, b'{"owner": "w9", "dead')
+        manifest = campaign_manifest(run, stall_after=1e9)
+        stale, = manifest["stale_leases"]
+        assert stale["state"] == "torn"
+        assert manifest["status"] == "stalled"
+        assert campaign_health(run, stall_after=1e9)["stalled_worker"] \
+            == "torn-lease"
+
+    def test_live_lease_does_not_stall(self, tmp_path):
+        import time as _time
+        run = tmp_path / "camp"
+        ctx = _interrupt(run)
+        now = _time.time()
+        self._plant_lease(run, ctx, json.dumps({
+            "owner": "w1", "host": "h", "pid": 1,
+            "created": now, "renewed": now, "renewals": 1,
+            "deadline": now + 3600.0}).encode())
+        manifest = campaign_manifest(run, stall_after=1e9)
+        assert manifest["stale_leases"] == []
+        assert manifest["status"] == "in-progress"
+        assert campaign_health(run, stall_after=1e9)["stalled"] is False
+
+    def test_lease_litter_on_complete_campaign_does_not_stall(
+            self, tmp_path):
+        # A stale lease with no open work is litter from a dead worker
+        # whose span a peer already covered — complete beats stalled,
+        # and --gc sweeps the file.
+        run = tmp_path / "camp"
+        ctx = self._sharded_run(run)
+        path = self._plant_lease(run, ctx, json.dumps({
+            "owner": "ghost", "host": "h", "pid": 1,
+            "created": 1.0, "renewed": 1.0, "renewals": 0,
+            "deadline": 2.0}).encode())
+        assert campaign_manifest(run, stall_after=1e9)["status"] \
+            == "complete"
+        assert campaign_health(run, stall_after=1e9)["stalled"] is False
+        stats = gc_campaign(run)
+        assert stats["removed_leases"] == 1
+        assert not path.exists()
+
+    def test_gc_never_touches_a_live_lease(self, tmp_path):
+        import time as _time
+        run = tmp_path / "camp"
+        ctx = self._sharded_run(run)
+        now = _time.time()
+        path = self._plant_lease(run, ctx, json.dumps({
+            "owner": "w1", "host": "h", "pid": 1,
+            "created": now, "renewed": now, "renewals": 1,
+            "deadline": now + 3600.0}).encode())
+        stats = gc_campaign(run)
+        assert stats["removed_leases"] == 0
+        assert path.exists()
+
+    def test_compaction_preserves_lease_counters(self, tmp_path):
+        run = tmp_path / "camp"
+        self._sharded_run(run)
+        before, = campaign_manifest(run,
+                                    stall_after=1e9)["experiments"]
+        gc_campaign(run)
+        after, = campaign_manifest(run, stall_after=1e9)["experiments"]
+        phase_b, = before["phases"]
+        phase_a, = after["phases"]
+        assert phase_a["lease_claims"] == phase_b["lease_claims"]
+        assert phase_a["lease_steals"] == phase_b["lease_steals"]
+
+
 class TestTornLedger:
     def test_torn_tail_never_breaks_status_or_resume(self, tmp_path):
         run = tmp_path / "camp"
